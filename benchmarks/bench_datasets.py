@@ -1,0 +1,9 @@
+"""Table 3 — dataset statistics (ours vs the paper's originals)."""
+
+from repro.bench.experiments import table3_datasets
+
+
+def test_table3_datasets(benchmark):
+    out = benchmark.pedantic(table3_datasets, rounds=1, iterations=1)
+    print("\n" + out["text"] + "\n")
+    assert len(out["rows"]) == 7

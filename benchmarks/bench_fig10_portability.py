@@ -1,0 +1,40 @@
+"""Figure 10 — SYgraph across V100S (CUDA), MAX1100 (LevelZero and
+OpenCL) and MI100 (ROCm), all algorithms, all seven datasets.
+
+Expected shape: every cell completes with identical results; the Intel
+MAX 1100 is relatively strongest on the sparse road graphs (its 108 MB
+L2), the AMD MI100 on dense CC workloads, the V100S strong overall, and
+the OpenCL backend trails LevelZero on the same silicon.
+"""
+
+from repro.bench.experiments import fig10_portability
+
+
+def test_fig10_portability(benchmark):
+    out = benchmark.pedantic(
+        fig10_portability,
+        kwargs=dict(n_sources=2),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + out["text"] + "\n")
+    med = out["medians"]
+
+    datasets = sorted({k[1] for k in med})
+    algorithms = sorted({k[0] for k in med})
+    # every (algo, dataset, device) cell ran
+    assert all(med[k] > 0 for k in med)
+
+    # OpenCL >= LevelZero on the same GPU, summed over the sweep
+    l0 = sum(med[(a, d, "max1100")] for a in algorithms for d in datasets)
+    ocl = sum(med[(a, d, "max1100-opencl")] for a in algorithms for d in datasets)
+    assert ocl >= l0
+
+    # relative strength: MAX1100's road-graph advantage vs its own
+    # scale-free showing, compared against the V100S (paper §5.3)
+    def ratio(dev, ds):
+        return med[("bfs", ds, dev)] / med[("bfs", ds, "v100s")]
+
+    road = min(ratio("max1100", "ca"), ratio("max1100", "usa"))
+    dense = ratio("max1100", "hollywood")
+    assert road < dense * 1.5  # Intel comparatively better on sparse road

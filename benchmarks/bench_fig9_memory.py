@@ -1,0 +1,34 @@
+"""Figure 9 — device-memory consumption during BFS on roadNet-CA,
+Hollywood-2009 and Indochina-2004.
+
+Expected shape: SYgraph's footprint is flat and among the smallest;
+Gunrock grows with the frontier; Tigr's resident UDT structures dwarf
+everyone; SEP-Graph spikes mid-run when it switches to pull.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig9_memory
+from repro.bench.reporting import bar_series
+
+
+def test_fig9_memory(benchmark):
+    out = benchmark.pedantic(fig9_memory, rounds=1, iterations=1)
+    print("\n" + out["text"] + "\n")
+    for ds, totals in out["totals"].items():
+        names = list(totals)
+        print(bar_series(f"peak memory on {ds} (MB)", [totals[n] / 1e6 for n in names], names, "MB"))
+        # Tigr is the heavyweight on every dataset
+        assert max(totals, key=totals.get) == "tigr"
+        # SYgraph is at or near the minimum
+        assert totals["sygraph"] <= 1.3 * min(totals.values())
+
+
+def test_fig9_sep_pull_spike():
+    """SEP-Graph's trace shows a transient allocation (the pull staging
+    buffer) that is later released — the paper's mid-run CA spike."""
+    out = fig9_memory(datasets=["hollywood"])
+    series = out["traces"]["hollywood"]["sep"]
+    peak = series.max()
+    final = series[-1]
+    assert peak > final  # spike released before the run ends

@@ -1,0 +1,55 @@
+"""Frontier-layout ablation (paper §4.1's memory/duplicate claims).
+
+Quantifies, on the same BFS:
+
+* the boolmap's **8x memory** overhead vs a bitmap ("linking each vertex
+  to a byte ... increases memory use eightfold");
+* the vector frontier's duplicate accumulation;
+* the bitmap family's time advantage over both.
+"""
+
+import numpy as np
+
+from repro.algorithms import bfs
+from repro.bench.reporting import format_table
+from repro.frontier import make_frontier
+from repro.graph.builder import GraphBuilder
+from repro.graph.datasets import load_dataset
+from repro.sycl import Queue, get_device
+
+LAYOUTS = ["2lb", "bitmap", "tree", "vector", "boolmap"]
+
+
+def test_frontier_layouts(benchmark):
+    coo = load_dataset("kron", "small")
+
+    def run():
+        out = {}
+        reference = None
+        for layout in LAYOUTS:
+            q = Queue(get_device("v100s"), capacity_limit=0)
+            g = GraphBuilder(q).to_csr(coo)
+            probe = make_frontier(q, g.get_vertex_count(), layout=layout)
+            q.reset_profile()
+            r = bfs(g, 1, layout=layout)
+            if reference is None:
+                reference = r.distances
+            assert np.array_equal(r.distances, reference)
+            out[layout] = {"ns": q.elapsed_ns, "frontier_bytes": probe.nbytes}
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [l, round(out[l]["ns"] / 1e3, 2), out[l]["frontier_bytes"]] for l in LAYOUTS
+    ]
+    print("\n" + format_table(
+        ["layout", "BFS time (us)", "frontier bytes"],
+        rows,
+        title="frontier layout ablation, kron BFS (paper §4.1)",
+    ) + "\n")
+
+    # §4.1: boolmap is 8x the bitmap's footprint
+    assert out["boolmap"]["frontier_bytes"] >= 7.9 * out["bitmap"]["frontier_bytes"]
+    # the bitmap family beats the duplicate-burdened vector layout
+    assert out["2lb"]["ns"] < out["vector"]["ns"]
+    assert out["bitmap"]["ns"] < out["vector"]["ns"]

@@ -1,0 +1,21 @@
+"""Table 1 — qualitative framework comparison, derived from the runners.
+
+Pre-/post-processing cells are *measured* (preprocessing time and the
+kernels launched during a probe BFS), not hard-coded, so this bench also
+guards the baseline mechanisms: if mini-Gunrock stopped launching dedup
+passes, the table would change and the assertions fail.
+"""
+
+from repro.bench.experiments import table1_qualitative
+
+
+def test_table1_qualitative(benchmark):
+    out = benchmark.pedantic(table1_qualitative, rounds=1, iterations=1)
+    print("\n" + out["text"] + "\n")
+    cells = {row[0]: row for row in out["rows"]}
+    # the paper's Table 1, cell for cell
+    assert cells["sygraph"][2:4] == ["No", "No"]
+    assert cells["gunrock"][2:4] == ["No", "Yes"]
+    assert cells["tigr"][2:4] == ["Yes", "Yes"]
+    assert cells["sep"][2:4] == ["Yes", "Yes"]
+    assert cells["sygraph"][1] == "Heterogeneous"

@@ -1,0 +1,9 @@
+"""Table 4 — the simulated hardware profiles."""
+
+from repro.bench.experiments import table4_hardware
+
+
+def test_table4_hardware(benchmark):
+    out = benchmark.pedantic(table4_hardware, rounds=1, iterations=1)
+    print("\n" + out["text"] + "\n")
+    assert len(out["rows"]) == 3

@@ -1,0 +1,26 @@
+"""Table 6 — SYgraph speedup vs each framework, with (WPP) and without
+(WOP) preprocessing, plus projected OOM cells.
+
+Expected shape (paper geomeans: Gunrock 3.49x, Tigr 7.51x, SEP 2.29x):
+SYgraph ahead of Gunrock on both columns; Tigr's WPP column saturates
+(>99 on scale-free graphs, driven by UDT preprocessing); SEP is
+competitive WOP but behind WPP.
+"""
+
+from repro.bench.experiments import fig8_comparison, table6_speedups
+
+
+def test_table6_speedups(benchmark):
+    def run():
+        fig8 = fig8_comparison()
+        return table6_speedups(fig8=fig8)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + out["text"] + "\n")
+    geo = out["geomeans"]
+    gun_wpp, gun_wop = geo["gunrock"]
+    tigr_wpp, tigr_wop = geo["tigr"]
+    sep_wpp, sep_wop = geo["sep"]
+    assert gun_wop > 1.0, "SYgraph must beat Gunrock without preprocessing"
+    assert tigr_wpp > tigr_wop > 1.0, "Tigr pays for UDT preprocessing"
+    assert sep_wpp > sep_wop, "SEP preprocessing costs something"

@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper and prints it.
+``REPRO_SCALE`` (tiny/small/medium) and ``REPRO_SOURCES`` control fidelity
+vs. runtime; the defaults (small, 3) run the full suite in a few minutes.
+The paper's full protocol is REPRO_SOURCES=200.
+"""
+
+import pytest
+
+
+def print_result(capsys_or_none, text: str) -> None:
+    """Emit a rendered table so it shows in pytest's captured output."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def n_sources():
+    from repro.bench.harness import env_sources
+
+    return env_sources()

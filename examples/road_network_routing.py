@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Road-network routing: SSSP variants on a large-diameter sparse graph.
+
+Road networks are the paper's hard case for frontier frameworks: hundreds
+of BFS/SSSP iterations with tiny frontiers, where per-iteration overhead
+and memory layout dominate.  This example:
+
+* builds a weighted road network (travel times on edges);
+* compares Bellman-Ford (the paper's SSSP) against the Δ-stepping
+  extension, both in simulated GPU time and in iteration counts;
+* runs the same workload on all three device profiles.
+
+Run:  python examples/road_network_routing.py
+"""
+
+import numpy as np
+
+from repro.algorithms import delta_stepping, sssp
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder
+from repro.sycl import Queue, get_device
+
+
+def main() -> None:
+    coo = gen.road_network(120, 90, seed=7, weighted=True)
+    print(f"road network: {coo.n_vertices:,} junctions, {coo.n_edges:,} road segments")
+
+    # --- Bellman-Ford vs delta-stepping on the V100S profile ------------ #
+    results = {}
+    for name, algo in (("bellman-ford", sssp), ("delta-stepping", delta_stepping)):
+        queue = Queue(get_device("v100s"))
+        graph = GraphBuilder(queue).to_csr(coo)
+        queue.reset_profile()
+        r = algo(graph, 0)
+        results[name] = r
+        reach = np.isfinite(r.distances).sum()
+        print(
+            f"  {name:15s} iterations={r.iterations:5d} "
+            f"reachable={reach:,} sim time={queue.elapsed_ns / 1e6:8.3f} ms"
+        )
+    assert np.allclose(
+        results["bellman-ford"].distances, results["delta-stepping"].distances, rtol=1e-5
+    ), "both SSSP variants must agree"
+
+    far = int(np.nanargmax(np.where(np.isfinite(results["bellman-ford"].distances),
+                                    results["bellman-ford"].distances, -1)))
+    print(f"  farthest reachable junction: {far} at travel cost "
+          f"{results['bellman-ford'].distances[far]:.1f}")
+
+    # --- portability: same routing job on each GPU profile -------------- #
+    print("cross-device comparison (Bellman-Ford):")
+    for dev in ("v100s", "max1100", "max1100-opencl", "mi100"):
+        queue = Queue(get_device(dev))
+        graph = GraphBuilder(queue).to_csr(coo)
+        queue.reset_profile()
+        sssp(graph, 0)
+        print(f"  {dev:15s} {queue.elapsed_ns / 1e6:8.3f} ms simulated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox lacks the `wheel` package, so PEP 660
+editable installs fail; `setup.py develop` works with plain setuptools."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Reproduction of "SYgraph: A Portable Heterogeneous Graph Analytics
+Framework for GPUs" (De Caro, Cordasco, Cosenza — ICPP 2025).
+
+Layers (see README.md / DESIGN.md):
+
+* :mod:`repro.sycl` — simulated SYCL runtime (queues, USM, devices);
+* :mod:`repro.perfmodel` — the GPU cost model standing in for hardware;
+* :mod:`repro.graph` — formats, IO, generators, datasets, partitioning;
+* :mod:`repro.frontier` — bitmap / two-layer bitmap / vector / boolmap /
+  bitmap-tree frontiers and their set operators;
+* :mod:`repro.operators` — advance / filter / compute primitives;
+* :mod:`repro.algorithms` — BFS, SSSP, CC, BC (+ extensions);
+* :mod:`repro.baselines` — mini-Gunrock / Tigr / SEP-Graph comparators;
+* :mod:`repro.bench` — the paper's evaluation, one function per
+  table/figure (also runnable via ``python -m repro``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sycl",
+    "perfmodel",
+    "graph",
+    "frontier",
+    "operators",
+    "algorithms",
+    "baselines",
+    "bench",
+]

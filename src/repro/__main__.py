@@ -1,0 +1,64 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro table3 [--scale small]
+    python -m repro fig7 [--scale small]
+    python -m repro fig8 --sources 3
+    python -m repro all
+
+Environment: ``REPRO_SCALE`` and ``REPRO_SOURCES`` set the defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments as E
+
+EXPERIMENTS = {
+    "table1": lambda args: E.table1_qualitative(),
+    "table3": lambda args: E.table3_datasets(scale=args.scale),
+    "table4": lambda args: E.table4_hardware(),
+    "fig7": lambda args: E.fig7_ablation(scale=args.scale),
+    "table5": lambda args: E.table5_hw_metrics(scale=args.scale),
+    "fig8": lambda args: E.fig8_comparison(scale=args.scale, n_sources=args.sources),
+    "fig9": lambda args: E.fig9_memory(scale=args.scale),
+    "table6": lambda args: E.table6_speedups(scale=args.scale, n_sources=args.sources),
+    "fig10": lambda args: E.fig10_portability(scale=args.scale, n_sources=args.sources),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the SYgraph paper's tables and figures on the simulated substrate.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument("--scale", default=None, help="dataset scale: tiny | small | medium")
+    parser.add_argument("--sources", type=int, default=None, help="sources per measurement (paper: 200)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        out = EXPERIMENTS[name](args)
+        print(out["text"])
+        print(f"[{name}: {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

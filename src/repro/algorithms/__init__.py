@@ -1,0 +1,58 @@
+"""Graph algorithms built on the SYgraph primitives (paper §3.4).
+
+The four evaluated algorithms:
+
+* :func:`~repro.algorithms.bfs.bfs` — push-based BFS (Listing 1);
+* :func:`~repro.algorithms.sssp.sssp` — Bellman-Ford SSSP;
+* :func:`~repro.algorithms.cc.cc` — label-propagation connected components;
+* :func:`~repro.algorithms.bc.bc` — Brandes betweenness centrality
+  (forward + backward sweeps).
+
+Extensions the paper mentions but does not evaluate (§3.4's "also
+possible" remarks and the Δ-stepping footnote):
+
+* :func:`~repro.algorithms.bfs.direction_optimizing_bfs` — Beamer
+  push/pull switching;
+* :func:`~repro.algorithms.sssp.delta_stepping` — bucketed SSSP;
+* :func:`~repro.algorithms.pagerank.pagerank`,
+  :func:`~repro.algorithms.triangles.triangle_count`,
+  :func:`~repro.algorithms.kcore.k_core`,
+  :func:`~repro.algorithms.coloring.jones_plassmann`,
+  :func:`~repro.algorithms.coloring.luby_mis` — further primitives
+  exercising the operator API.
+
+Every algorithm takes the graph (device-resident CSR), runs entirely via
+the operators, and returns a result object carrying per-vertex outputs
+and iteration statistics.
+"""
+
+from repro.algorithms.bc import BCResult, bc
+from repro.algorithms.coloring import ColoringResult, MISResult, jones_plassmann, luby_mis
+from repro.algorithms.kcore import KCoreResult, k_core
+from repro.algorithms.bfs import BFSResult, bfs, direction_optimizing_bfs
+from repro.algorithms.cc import CCResult, cc
+from repro.algorithms.pagerank import PageRankResult, pagerank
+from repro.algorithms.sssp import SSSPResult, delta_stepping, sssp
+from repro.algorithms.triangles import triangle_count
+
+__all__ = [
+    "bfs",
+    "direction_optimizing_bfs",
+    "BFSResult",
+    "sssp",
+    "delta_stepping",
+    "SSSPResult",
+    "cc",
+    "CCResult",
+    "bc",
+    "BCResult",
+    "pagerank",
+    "PageRankResult",
+    "triangle_count",
+    "k_core",
+    "KCoreResult",
+    "jones_plassmann",
+    "ColoringResult",
+    "luby_mis",
+    "MISResult",
+]

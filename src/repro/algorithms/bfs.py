@@ -1,0 +1,178 @@
+"""Breadth-First Search.
+
+:func:`bfs` is a line-for-line transcription of the paper's Listing 1:
+push advance with a visited check, compute to stamp depths, swap + clear,
+until the input frontier is empty.
+
+:func:`direction_optimizing_bfs` adds Beamer-style push/pull switching
+(the paper: "it is also possible to use both push and pull techniques as
+per Beamer et al."): when the frontier's outgoing edge mass exceeds a
+fraction of the unexplored edge mass, one pull step over the CSC graph
+replaces the push step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.frontier import FrontierView, make_frontier, swap
+from repro.operators import advance, compute
+from repro.operators.advance import AdvanceConfig
+
+
+@dataclass
+class BFSResult:
+    """Per-vertex depths (-1 = unreachable) and traversal statistics."""
+
+    distances: np.ndarray
+    iterations: int
+    visited: int
+
+    def depth(self, v: int) -> int:
+        return int(self.distances[v])
+
+
+#: depth sentinel: "not yet visited" (Listing 1 uses size+1; -1 reads better)
+UNSEEN = -1
+
+
+def bfs(
+    graph,
+    source: int,
+    layout: str = "2lb",
+    config: Optional[AdvanceConfig] = None,
+    max_iterations: Optional[int] = None,
+) -> BFSResult:
+    """Push-based BFS from ``source`` (paper Listing 1).
+
+    ``layout`` picks the frontier data layout (``2lb`` is the paper's
+    default; ``bitmap``/``vector``/``boolmap`` enable the ablations).
+    """
+    queue = graph.queue
+    n = graph.get_vertex_count()
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+
+    kwargs = {}
+    if config is not None and config.params is not None and layout in ("2lb", "bitmap"):
+        kwargs["bits"] = config.params.bitmap_bits
+    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    dist = queue.malloc_shared((n,), np.int64, label="bfs.dist", fill=UNSEEN)
+    dist[source] = 0
+    in_frontier.insert(source)
+
+    iteration = 0
+    limit = max_iterations if max_iterations is not None else n + 1
+    while not in_frontier.empty() and iteration < limit:
+        advance.frontier(
+            graph,
+            in_frontier,
+            out_frontier,
+            lambda src, dst, eid, w: dist[dst] == UNSEEN,
+            config,
+        ).wait()
+        depth = iteration + 1
+        compute.execute(
+            graph, out_frontier, lambda ids: dist.__setitem__(ids, depth)
+        ).wait()
+        swap(in_frontier, out_frontier)
+        out_frontier.clear()
+        iteration += 1
+        queue.memory.tick(f"bfs.iter{iteration}")
+
+    distances = np.asarray(dist).copy()
+    queue.free(dist)
+    return BFSResult(
+        distances=distances,
+        iterations=iteration,
+        visited=int((distances != UNSEEN).sum()),
+    )
+
+
+def direction_optimizing_bfs(
+    graph,
+    csc_graph,
+    source: int,
+    layout: str = "2lb",
+    alpha: float = 14.0,
+    beta: float = 24.0,
+    config: Optional[AdvanceConfig] = None,
+) -> BFSResult:
+    """BFS with Beamer push/pull direction switching.
+
+    Switches push->pull when ``m_frontier > m_unexplored / alpha`` and
+    back when the frontier shrinks below ``n / beta`` (the standard
+    direction-optimization heuristics).
+    Requires both CSR (push) and CSC (pull) forms of the same graph.
+    """
+    queue = graph.queue
+    n = graph.get_vertex_count()
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+
+    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    dist = queue.malloc_shared((n,), np.int64, label="dobfs.dist", fill=UNSEEN)
+    dist[source] = 0
+    in_frontier.insert(source)
+
+    out_degs = graph.out_degrees()
+    total_edges = graph.get_edge_count()
+    explored_edges = int(out_degs[source])
+    iteration = 0
+    pulling = False
+    prev_frontier_size = 1
+
+    while not in_frontier.empty() and iteration <= n:
+        active = in_frontier.active_elements()
+        frontier_edges = int(out_degs[active].sum())
+        unexplored = max(0, total_edges - explored_edges)
+        growing = active.size >= prev_frontier_size
+        # Beamer's heuristics: pull while the frontier is heavy AND still
+        # growing; return to push once it shrinks below n/beta.
+        if not pulling and growing and frontier_edges > unexplored / alpha:
+            pulling = True
+        elif pulling and (active.size < n / beta or not growing):
+            pulling = False
+        prev_frontier_size = active.size
+
+        if pulling:
+            candidates = np.nonzero(np.asarray(dist) == UNSEEN)[0]
+            advance.frontier_pull(
+                csc_graph,
+                in_frontier,
+                out_frontier,
+                lambda src, dst, eid, w: dist[dst] == UNSEEN,
+                candidates,
+                config,
+            ).wait()
+        else:
+            advance.frontier(
+                graph,
+                in_frontier,
+                out_frontier,
+                lambda src, dst, eid, w: dist[dst] == UNSEEN,
+                config,
+            ).wait()
+
+        depth = iteration + 1
+        compute.execute(
+            graph, out_frontier, lambda ids: dist.__setitem__(ids, depth)
+        ).wait()
+        explored_edges += int(out_degs[out_frontier.active_elements()].sum())
+        swap(in_frontier, out_frontier)
+        out_frontier.clear()
+        iteration += 1
+        queue.memory.tick(f"dobfs.iter{iteration}")
+
+    distances = np.asarray(dist).copy()
+    queue.free(dist)
+    return BFSResult(
+        distances=distances,
+        iterations=iteration,
+        visited=int((distances != UNSEEN).sum()),
+    )

@@ -1,0 +1,170 @@
+"""Greedy parallel graph coloring (Jones-Plassmann) and maximal
+independent set (Luby) — compute/filter-driven extension algorithms.
+
+Both follow the same BSP skeleton the framework's primitives encourage:
+per superstep, vertices compare a random priority against their uncolored
+(or undecided) neighbors; local maxima act, everyone else waits.
+Expects undirected (symmetrized) CSR graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.frontier import FrontierView, make_frontier
+from repro.operators import advance
+from repro.operators.advance import AdvanceConfig
+
+
+@dataclass
+class ColoringResult:
+    """Per-vertex colors (0-based) and round count."""
+
+    colors: np.ndarray
+    iterations: int
+
+    @property
+    def n_colors(self) -> int:
+        return int(self.colors.max()) + 1 if self.colors.size else 0
+
+    def is_proper(self, graph) -> bool:
+        """No edge connects two same-colored vertices."""
+        coo = graph.to_coo()
+        src, dst = coo.src.astype(np.int64), coo.dst.astype(np.int64)
+        mask = src != dst
+        return bool((self.colors[src[mask]] != self.colors[dst[mask]]).all())
+
+
+@dataclass
+class MISResult:
+    """Independent-set membership mask and round count."""
+
+    in_set: np.ndarray
+    iterations: int
+
+    @property
+    def size(self) -> int:
+        return int(self.in_set.sum())
+
+
+def _priorities(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)  # distinct priorities
+
+
+def jones_plassmann(
+    graph,
+    layout: str = "2lb",
+    seed: int = 0,
+    config: Optional[AdvanceConfig] = None,
+) -> ColoringResult:
+    """Jones-Plassmann coloring: local priority maxima pick their smallest
+    feasible color each round."""
+    queue = graph.queue
+    n = graph.get_vertex_count()
+    prio = _priorities(n, seed)
+    colors = queue.malloc_shared((n,), np.int64, label="color.colors", fill=-1)
+
+    uncolored = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    uncolored.insert(np.arange(n, dtype=np.int64))
+    iterations = 0
+    colors_np = np.asarray(colors)
+
+    while not uncolored.empty() and iterations <= n:
+        # a vertex is a local max if no *uncolored* neighbor outranks it
+        blocked = np.zeros(n, dtype=bool)
+
+        def mark_blocked(src, dst, eid, w):
+            contested = (colors_np[dst] == -1) & (colors_np[src] == -1) & (prio[dst] > prio[src])
+            blocked[src[contested]] = True
+            return np.zeros(src.size, dtype=bool)
+
+        advance.frontier(graph, uncolored, None, mark_blocked, config).wait()
+        winners = uncolored.active_elements()
+        winners = winners[~blocked[winners]]
+
+        # each winner takes the smallest color absent from its neighborhood
+        if winners.size:
+            w_front = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+            w_front.insert(winners)
+            forbidden = {}
+
+            def collect(src, dst, eid, w):
+                used = colors_np[dst] >= 0
+                for s, c in zip(src[used], colors_np[dst[used]]):
+                    forbidden.setdefault(int(s), set()).add(int(c))
+                return np.zeros(src.size, dtype=bool)
+
+            advance.frontier(graph, w_front, None, collect, config).wait()
+            for v in winners:
+                taken = forbidden.get(int(v), set())
+                c = 0
+                while c in taken:
+                    c += 1
+                colors_np[v] = c
+            uncolored.remove(winners)
+        iterations += 1
+        queue.memory.tick(f"color.round{iterations}")
+
+    result = colors_np.copy()
+    queue.free(colors)
+    return ColoringResult(colors=result, iterations=iterations)
+
+
+def luby_mis(
+    graph,
+    layout: str = "2lb",
+    seed: int = 0,
+    config: Optional[AdvanceConfig] = None,
+) -> MISResult:
+    """Luby's maximal independent set: priority local maxima join the set,
+    their neighbors drop out, repeat."""
+    queue = graph.queue
+    n = graph.get_vertex_count()
+    prio = _priorities(n, seed)
+    in_set = np.zeros(n, dtype=bool)
+    undecided = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    undecided.insert(np.arange(n, dtype=np.int64))
+    decided = np.zeros(n, dtype=bool)
+    iterations = 0
+
+    while not undecided.empty() and iterations <= n:
+        blocked = np.zeros(n, dtype=bool)
+
+        def mark_blocked(src, dst, eid, w):
+            contested = ~decided[dst] & ~decided[src] & (prio[dst] > prio[src])
+            blocked[src[contested]] = True
+            return np.zeros(src.size, dtype=bool)
+
+        advance.frontier(graph, undecided, None, mark_blocked, config).wait()
+        winners = undecided.active_elements()
+        winners = winners[~blocked[winners]]
+        if winners.size == 0:
+            break
+        in_set[winners] = True
+        decided[winners] = True
+        undecided.remove(winners)
+
+        # winners' neighbors leave the race
+        w_front = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+        w_front.insert(winners)
+        losers = []
+
+        def knock_out(src, dst, eid, w):
+            fresh = ~decided[dst]
+            decided[dst[fresh]] = True
+            losers.append(dst[fresh])
+            return np.zeros(src.size, dtype=bool)
+
+        advance.frontier(graph, w_front, None, knock_out, config).wait()
+        if losers:
+            out = np.unique(np.concatenate(losers))
+            if out.size:
+                undecided.remove(out)
+        iterations += 1
+        queue.memory.tick(f"mis.round{iterations}")
+
+    return MISResult(in_set=in_set, iterations=iterations)

@@ -1,0 +1,109 @@
+"""Common interface for framework runners.
+
+A :class:`FrameworkRunner` owns a private queue on the chosen device,
+loads a graph (doing whatever preprocessing its framework requires,
+charged to ``preprocessing_ns``), and exposes the four evaluated
+algorithms.  The benchmark harness measures ``queue.elapsed_ns`` around
+each call, exactly like the paper measures kernel time excluding the
+host-to-device graph transfer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Type
+
+from repro.graph.coo import COOGraph
+from repro.sycl.device import Device
+from repro.sycl.queue import Queue
+
+class FrameworkRunner(abc.ABC):
+    """One framework bound to one graph on one device."""
+
+    #: short name used in tables/figures
+    name: str = "base"
+
+    def __init__(self, coo: COOGraph, device: Optional[Device] = None, capacity_limit: Optional[int] = 0):
+        # capacity_limit=0 disables OOM enforcement by default: paper-scale
+        # OOM is *projected* (see projected_paper_bytes), not hit at our
+        # reduced dataset scale.
+        self.queue = Queue(device, capacity_limit=capacity_limit)
+        self.coo = coo
+        self.preprocessing_ns: float = 0.0
+        self._load(coo)
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _load(self, coo: COOGraph) -> None:
+        """Build framework-internal structures; set ``preprocessing_ns``."""
+
+    @abc.abstractmethod
+    def bfs(self, source: int):
+        """Run BFS; returns an object with a ``distances`` array."""
+
+    @abc.abstractmethod
+    def sssp(self, source: int):
+        """Run SSSP; returns an object with a ``distances`` array."""
+
+    @abc.abstractmethod
+    def cc(self):
+        """Run connected components; returns object with ``labels``."""
+
+    @abc.abstractmethod
+    def bc(self, sources: Sequence[int]):
+        """Run betweenness centrality; returns object with ``scores``."""
+
+    # ------------------------------------------------------------------ #
+    def supports(self, algorithm: str) -> bool:
+        """Whether this framework ships the algorithm (SEP-Graph has no
+        CC implementation — Table 6 leaves those cells empty)."""
+        return True
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.queue.elapsed_ns
+
+    def reset_timers(self) -> None:
+        self.queue.reset_profile()
+
+    @property
+    def device_bytes(self) -> int:
+        return self.queue.memory.bytes_in_use
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.queue.memory.peak_bytes
+
+    def projected_paper_bytes(self, paper_edges: float, paper_vertices: float) -> float:
+        """Extrapolate this runner's resident footprint to paper scale.
+
+        Used to reproduce Table 6's OOM entries: a framework whose
+        projected footprint exceeds the device VRAM at the original
+        dataset size would have OOM'd on the real hardware.
+        """
+        scale_e = paper_edges / max(1, self.coo.n_edges)
+        scale_v = paper_vertices / max(1, self.coo.n_vertices)
+        # edge-proportional structures dominate; vertex structures second
+        return self.peak_bytes * (0.8 * scale_e + 0.2 * scale_v)
+
+
+_REGISTRY: Dict[str, Type[FrameworkRunner]] = {}
+
+
+def register_runner(cls: Type[FrameworkRunner]) -> Type[FrameworkRunner]:
+    """Class decorator adding a runner to the harness registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def runner_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def make_runner(name: str, coo: COOGraph, device: Optional[Device] = None) -> FrameworkRunner:
+    """Instantiate a registered framework runner by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown framework {name!r}; known: {runner_names()}") from None
+    return cls(coo, device)

@@ -1,0 +1,43 @@
+"""SYgraph behind the harness runner interface.
+
+No preprocessing beyond the CSR build (Table 1: Pre/Post-Processing both
+"No"); the algorithms are the library's own (2LB frontiers, tuned device
+parameters from the inspector).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algorithms import bc as _bc
+from repro.algorithms import bfs as _bfs
+from repro.algorithms import cc as _cc
+from repro.algorithms import sssp as _sssp
+from repro.baselines.common import FrameworkRunner, register_runner
+from repro.graph.builder import GraphBuilder
+from repro.graph.coo import COOGraph
+
+
+@register_runner
+class SYgraphRunner(FrameworkRunner):
+    """The paper's framework (this library) as a harness runner."""
+
+    name = "sygraph"
+
+    def _load(self, coo: COOGraph) -> None:
+        builder = GraphBuilder(self.queue)
+        self.graph = builder.to_csr(coo)
+        self.graph_sym = builder.to_csr(coo.symmetrized())
+        self.preprocessing_ns = 0.0  # CSR build only, common to everyone
+
+    def bfs(self, source: int):
+        return _bfs(self.graph, source, layout="2lb")
+
+    def sssp(self, source: int):
+        return _sssp(self.graph, source, layout="2lb")
+
+    def cc(self):
+        return _cc(self.graph_sym, layout="2lb")
+
+    def bc(self, sources: Sequence[int]):
+        return _bc(self.graph, sources=sources, layout="2lb")

@@ -1,0 +1,276 @@
+"""Mini-Tigr: UDT-transformed, topology-driven traversal.
+
+Reimplements the Tigr mechanisms the paper measures (§2.2, §5.2):
+
+* **UDT preprocessing**: every vertex with out-degree above ``K`` is
+  split into virtual nodes of at most ``K`` edges each ("Uniform-Degree
+  Tree transformation").  Charged to ``preprocessing_ns`` — Tigr's WPP
+  speedup columns in Table 6 are dominated by this cost (>99x entries);
+* **no frontier model**: Tigr "directly travers[es] the graph, avoiding
+  the typical frontier model" — every iteration launches over *all*
+  virtual nodes and checks an active flag, so sparse iterations (road
+  graphs, BFS tails) waste nearly the whole launch;
+* **heavy resident structures**: original CSR + virtual CSR + virtual->
+  real maps + per-virtual state, double-buffered — the outsized memory
+  footprints of Figure 9 (14 GB on roadNet-CA vs SYgraph's 280 MB).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.common import FrameworkRunner, register_runner
+from repro.graph.builder import GraphBuilder
+from repro.graph.coo import COOGraph
+from repro.operators.advance import (
+    REGION_COL_IDX,
+    REGION_ROW_PTR,
+    REGION_USERDATA,
+)
+from repro.perfmodel.cost import KernelWorkload
+from repro.sycl.ndrange import Range
+
+#: UDT degree bound (Tigr's default splits to warp-sized chunks)
+UDT_K = 32
+#: host-side transform throughput, edges per microsecond, used to charge
+#: preprocessing time (CPU single-thread restructure + re-upload)
+UDT_EDGES_PER_US = 50.0
+
+
+@register_runner
+class TigrRunner(FrameworkRunner):
+    """UDT-transformed topology-driven BFS/SSSP/CC/BC."""
+
+    name = "tigr"
+
+    def _load(self, coo: COOGraph) -> None:
+        builder = GraphBuilder(self.queue)
+        self.graph = builder.to_csr(coo)
+        self.graph_sym = builder.to_csr(coo.symmetrized())
+        self._udt(self.graph, "fwd")
+        self._udt(self.graph_sym, "sym")
+        # preprocessing: host-side transformation + re-upload of both forms
+        total_edges = coo.n_edges * 3  # fwd + symmetrized (2x edges)
+        self.preprocessing_ns = total_edges / UDT_EDGES_PER_US * 1_000.0
+
+    def _udt(self, graph, tag: str) -> None:
+        """Build the virtual-node structure for one CSR graph."""
+        q = self.queue
+        degs = graph.out_degrees()
+        n = graph.get_vertex_count()
+        # virtual nodes: ceil(deg / K) per vertex, at least 1
+        vcounts = np.maximum(1, -(-degs // UDT_K))
+        n_virtual = int(vcounts.sum())
+        v2r = np.repeat(np.arange(n, dtype=np.int64), vcounts)
+        first = np.concatenate(([0], np.cumsum(vcounts)[:-1]))
+        chunk = np.arange(n_virtual, dtype=np.int64) - np.repeat(first, vcounts)
+        rp = graph.row_ptr.astype(np.int64)
+        vstart = rp[v2r] + chunk * UDT_K
+        vend = np.minimum(rp[v2r + 1], vstart + UDT_K)
+
+        # resident structures (Figure 9's footprint): virtual row ranges,
+        # maps, per-virtual state (flags/labels), double-buffered, plus the
+        # transformation workspace Tigr keeps pinned
+        store = {}
+        store["vstart"] = q.malloc_shared((n_virtual,), np.int64, label=f"tigr.{tag}.vstart")
+        store["vstart"][:] = vstart
+        store["vend"] = q.malloc_shared((n_virtual,), np.int64, label=f"tigr.{tag}.vend")
+        store["vend"][:] = vend
+        store["v2r"] = q.malloc_shared((n_virtual,), np.int64, label=f"tigr.{tag}.v2r")
+        store["v2r"][:] = v2r
+        store["flags_a"] = q.malloc_shared((n_virtual,), np.uint8, label=f"tigr.{tag}.flags_a", fill=0)
+        store["flags_b"] = q.malloc_shared((n_virtual,), np.uint8, label=f"tigr.{tag}.flags_b", fill=0)
+        m = graph.get_edge_count()
+        store["workspace"] = q.malloc_shared((max(1, m * 2),), np.int64, label=f"tigr.{tag}.workspace", fill=0)
+        setattr(self, f"_udt_{tag}", store)
+        setattr(self, f"_nv_{tag}", n_virtual)
+
+    # ------------------------------------------------------------------ #
+    def _topology_step(self, graph, tag: str, active_real: np.ndarray, functor):
+        """One topology-driven iteration over ALL virtual nodes.
+
+        Executes the edge work of the active vertices and charges a launch
+        covering the entire virtual-node array (Tigr has no frontier to
+        shrink the launch).
+        Returns the accepted destination vertices.
+        """
+        q = self.queue
+        n_virtual = getattr(self, f"_nv_{tag}")
+        store = getattr(self, f"_udt_{tag}")
+
+        src, dst, eid, w = graph.gather_neighbors(active_real)
+        if src.size:
+            mask = functor(src, dst, eid, w)
+            accepted = np.unique(dst[mask])
+        else:
+            accepted = np.empty(0, dtype=np.int64)
+
+        spec = q.device.spec
+        geom = Range(n_virtual).resolve(spec.max_workgroup_size // 4, spec.preferred_subgroup_size)
+        # UDT keeps per-virtual work uniform (<= K edges), so intra-launch
+        # imbalance is tiny — but every virtual node is scanned each step.
+        wl = KernelWorkload(
+            name="tigr.step",
+            geometry=geom,
+            active_lanes=int(min(geom.total_lanes, src.size + active_real.size)),
+            instructions_per_lane=6.0,
+            serial_ops=float(src.size) * 19.0,  # hardwired kernels: ~0.8x the generic per-edge cost
+        )
+        # topology-driven: every virtual node loads its statically assigned
+        # (vstart, vend, real-id) triple and checks the active flag — this
+        # full-array sweep every iteration is Tigr's road-graph tax
+        allv = np.arange(n_virtual)
+        wl.add_stream(allv, 1, REGION_USERDATA, label="virt.flags")
+        wl.add_stream(allv, 8, REGION_ROW_PTR, label="virt.vstart")
+        wl.add_stream(allv, 8, REGION_ROW_PTR + 100, label="virt.vend")
+        if eid.size:
+            wl.add_stream(eid, 4, REGION_COL_IDX, label="col_idx")
+            wl.add_stream(dst, 8, REGION_USERDATA + 100, label="values")
+        q.submit(wl)
+        q.memory.tick("tigr.step")
+        return accepted
+
+    def _translate_kernel(self, tag: str = "fwd") -> None:
+        """Post-processing: map per-virtual-node values back to real
+        vertices (Table 1's Post-Processing "Yes" for Tigr)."""
+        q = self.queue
+        n_virtual = getattr(self, f"_nv_{tag}")
+        spec = q.device.spec
+        geom = Range(n_virtual).resolve(spec.max_workgroup_size // 4, spec.preferred_subgroup_size)
+        wl = KernelWorkload(
+            name="tigr.post.translate",
+            geometry=geom,
+            active_lanes=n_virtual,
+            instructions_per_lane=5.0,
+        )
+        allv = np.arange(n_virtual)
+        wl.add_stream(allv, 8, REGION_ROW_PTR + 200, label="v2r.read")
+        wl.add_stream(allv, 8, REGION_USERDATA + 200, is_write=True, label="values.scatter")
+        q.submit(wl)
+
+    # ------------------------------------------------------------------ #
+    def bfs(self, source: int):
+        from repro.algorithms.bfs import BFSResult
+
+        g = self.graph
+        n = g.get_vertex_count()
+        dist = self.queue.malloc_shared((n,), np.int64, label="tigr.bfs.dist", fill=-1)
+        dist[source] = 0
+        active = np.array([source], dtype=np.int64)
+        it = 0
+        while active.size and it <= n:
+            depth = it + 1
+            accepted = self._topology_step(
+                g, "fwd", active, lambda s, d, e, w: dist[d] == -1
+            )
+            dist[accepted] = depth
+            active = accepted
+            it += 1
+        self._translate_kernel()
+        out = np.asarray(dist).copy()
+        self.queue.free(dist)
+        return BFSResult(distances=out, iterations=it, visited=int((out != -1).sum()))
+
+    def sssp(self, source: int):
+        from repro.algorithms.sssp import SSSPResult
+
+        g = self.graph
+        n = g.get_vertex_count()
+        dist = self.queue.malloc_shared((n,), np.float64, label="tigr.sssp.dist", fill=np.inf)
+        dist[source] = 0.0
+        active = np.array([source], dtype=np.int64)
+        it = 0
+        relaxations = 0
+
+        def relax(s, d, e, w):
+            cand = dist[s] + w.astype(np.float64)
+            improved = cand < dist[d]
+            np.minimum.at(dist, d[improved], cand[improved])
+            return improved
+
+        while active.size and it <= 4 * n:
+            active = self._topology_step(g, "fwd", active, relax)
+            relaxations += active.size
+            it += 1
+        self._translate_kernel()
+        out = np.asarray(dist).copy()
+        self.queue.free(dist)
+        return SSSPResult(distances=out, iterations=it, relaxations=relaxations)
+
+    def cc(self):
+        from repro.algorithms.cc import CCResult
+
+        g = self.graph_sym
+        n = g.get_vertex_count()
+        labels = self.queue.malloc_shared((n,), np.int64, label="tigr.cc.labels")
+        labels[:] = np.arange(n, dtype=np.int64)
+        active = np.arange(n, dtype=np.int64)
+        it = 0
+
+        def propagate(s, d, e, w):
+            improved = labels[s] < labels[d]
+            np.minimum.at(labels, d[improved], labels[s][improved])
+            return improved
+
+        while active.size and it <= n:
+            active = self._topology_step(g, "sym", active, propagate)
+            it += 1
+        self._translate_kernel("sym")
+        out = np.asarray(labels).copy()
+        self.queue.free(labels)
+        return CCResult(labels=out, iterations=it)
+
+    def bc(self, sources: Sequence[int]):
+        from repro.algorithms.bc import BCResult
+
+        g = self.graph
+        n = g.get_vertex_count()
+        scores = np.zeros(n, dtype=np.float64)
+        total_iters = 0
+        for s0 in sources:
+            dep, iters = self._brandes(int(s0))
+            scores += dep
+            total_iters += iters
+        return BCResult(scores=scores, sources=[int(s) for s in sources], total_iterations=total_iters)
+
+    def _brandes(self, source: int):
+        g = self.graph
+        n = g.get_vertex_count()
+        q = self.queue
+        dist = q.malloc_shared((n,), np.int64, label="tigr.bc.dist", fill=-1)
+        sigma = q.malloc_shared((n,), np.float64, label="tigr.bc.sigma", fill=0)
+        delta = q.malloc_shared((n,), np.float64, label="tigr.bc.delta", fill=0)
+        dist[source] = 0
+        sigma[source] = 1.0
+        levels = [np.array([source], dtype=np.int64)]
+        active = levels[0]
+        it = 0
+        while active.size:
+            depth = it + 1
+
+            def fwd(s, d, e, w):
+                tree = dist[d] == -1
+                np.add.at(sigma, d[tree], sigma[s][tree])
+                dist[d[tree]] = depth
+                return tree
+
+            active = self._topology_step(g, "fwd", active, fwd)
+            if active.size:
+                levels.append(active)
+            it += 1
+
+        def back(s, d, e, w):
+            tree = dist[d] == dist[s] + 1
+            contrib = sigma[s][tree] / np.maximum(sigma[d][tree], 1e-300) * (1.0 + delta[d][tree])
+            np.add.at(delta, s[tree], contrib)
+            return np.zeros(s.size, dtype=bool)
+
+        for li in range(len(levels) - 1, 0, -1):
+            self._topology_step(g, "fwd", levels[li - 1], back)
+            it += 1
+        dep = np.asarray(delta).copy()
+        dep[source] = 0.0
+        q.free(dist), q.free(sigma), q.free(delta)
+        return dep, it

@@ -1,0 +1,148 @@
+"""Measurement harness.
+
+The paper's protocol (§5.2): 200 uniformly random sources per graph for
+BC/BFS/SSSP, 200 repetitions for CC; report median and standard deviation
+of execution time, *excluding* host-to-device graph transfer (our
+runners' ``_load``) but *including* per-run preprocessing where a
+framework needs it (reported separately, as the WPP/WOP columns do).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import FrameworkRunner, make_runner
+from repro.graph.datasets import load_dataset
+from repro.sycl.device import Device
+
+
+def env_scale() -> str:
+    """Dataset scale profile from ``REPRO_SCALE`` (default ``small``)."""
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+def env_sources(default: int = 3) -> int:
+    """Sources per measurement from ``REPRO_SOURCES`` (paper: 200)."""
+    return int(os.environ.get("REPRO_SOURCES", str(default)))
+
+
+def pick_sources(n_vertices: int, count: int, seed: int = 7, out_degrees=None) -> List[int]:
+    """Uniformly random source vertices (deterministic).
+
+    Like Graph500's source sampling, vertices with no outgoing edges are
+    excluded when ``out_degrees`` is given (an isolated source measures
+    nothing but launch overhead).
+    """
+    rng = np.random.default_rng(seed)
+    if out_degrees is not None:
+        candidates = np.nonzero(np.asarray(out_degrees) > 0)[0]
+        if candidates.size:
+            return [int(v) for v in candidates[rng.integers(0, candidates.size, size=count)]]
+    return [int(v) for v in rng.integers(0, n_vertices, size=count)]
+
+
+@dataclass
+class MeasureResult:
+    """Aggregated measurement for (framework, dataset, algorithm)."""
+
+    framework: str
+    dataset: str
+    algorithm: str
+    times_ns: List[float]
+    preprocessing_ns: float
+    peak_bytes: int
+    peak_l1_hit_rate: float
+    peak_occupancy: float
+
+    @property
+    def median_ns(self) -> float:
+        return float(np.median(self.times_ns)) if self.times_ns else 0.0
+
+    @property
+    def std_ns(self) -> float:
+        return float(np.std(self.times_ns)) if self.times_ns else 0.0
+
+    @property
+    def median_with_prep_ns(self) -> float:
+        return self.median_ns + self.preprocessing_ns
+
+
+def median_ns(times: Sequence[float]) -> float:
+    return float(np.median(np.asarray(times))) if len(times) else 0.0
+
+
+def run_sources(
+    runner: FrameworkRunner, algorithm: str, sources: Sequence[int]
+) -> List[float]:
+    """Run one algorithm over the given sources, one timed run each.
+
+    CC takes no source; it is repeated ``len(sources)`` times like the
+    paper's 200 repetitions.  BC is run per single source (the paper times
+    per-source Brandes sweeps).
+    """
+    times: List[float] = []
+    for s in sources:
+        runner.reset_timers()
+        if algorithm == "bfs":
+            runner.bfs(int(s))
+        elif algorithm == "sssp":
+            runner.sssp(int(s))
+        elif algorithm == "cc":
+            runner.cc()
+        elif algorithm == "bc":
+            runner.bc([int(s)])
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        times.append(runner.elapsed_ns)
+    return times
+
+
+def measure(
+    framework: str,
+    dataset: str,
+    algorithm: str,
+    device: Optional[Device] = None,
+    n_sources: Optional[int] = None,
+    scale: Optional[str] = None,
+    advance_prefix: str = "",
+) -> MeasureResult:
+    """Measure one (framework, dataset, algorithm) cell.
+
+    Returns ``times_ns`` per source plus preprocessing time, peak memory,
+    and the Table 5 hardware metrics (peak L1 hit rate / occupancy over
+    advance-kernel launches).
+    """
+    scale = scale or env_scale()
+    count = n_sources if n_sources is not None else env_sources()
+    coo = load_dataset(dataset, scale, weighted=(algorithm == "sssp"))
+    runner = make_runner(framework, coo, device)
+    if not runner.supports(algorithm):
+        return MeasureResult(framework, dataset, algorithm, [], runner.preprocessing_ns, runner.peak_bytes, 0.0, 0.0)
+    out_degrees = np.bincount(coo.src.astype(np.int64), minlength=coo.n_vertices)
+    sources = pick_sources(coo.n_vertices, count, out_degrees=out_degrees)
+    times = run_sources(runner, algorithm, sources)
+    prefix = advance_prefix or _ADVANCE_PREFIX.get(framework, "advance")
+    return MeasureResult(
+        framework=framework,
+        dataset=dataset,
+        algorithm=algorithm,
+        times_ns=times,
+        preprocessing_ns=runner.preprocessing_ns,
+        peak_bytes=runner.peak_bytes,
+        peak_l1_hit_rate=runner.queue.profile.peak_l1_hit_rate(prefix),
+        peak_occupancy=runner.queue.profile.peak_occupancy(prefix),
+    )
+
+
+#: which kernel-name prefix counts as "the advance" per framework, for
+#: Table 5's "peak during advance steps" metrics.
+_ADVANCE_PREFIX: Dict[str, str] = {
+    "sygraph": "advance.frontier",
+    "gunrock": "advance.frontier",
+    "sep": "advance",
+    "tigr": "tigr.step",
+}

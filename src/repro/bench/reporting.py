@@ -1,0 +1,86 @@
+"""Plain-text table/series rendering for the experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (ignores non-positive values, like the paper's
+    speedup summaries must)."""
+    vals = np.asarray([v for v in values if v and v > 0], dtype=np.float64)
+    if vals.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(vals))))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            cols[i].append(_fmt(cell))
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    n_rows = len(rows)
+    for r in range(n_rows):
+        lines.append("  ".join(_fmt(rows[r][i]).rjust(widths[i]) if i else _fmt(rows[r][i]).ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def ns_to_ms(ns: float) -> float:
+    return ns / 1e6
+
+
+def bar_series(label: str, values: Sequence[float], names: Sequence[str], unit: str = "ms") -> str:
+    """Render one bar-chart series as text (for figure-style output)."""
+    peak = max(values) if values else 1.0
+    lines = [label]
+    for name, v in zip(names, values):
+        bar = "#" * max(1, int(40 * v / peak)) if peak else ""
+        lines.append(f"  {name:>12s} {v:10.3f} {unit} {bar}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Sequence[str],
+    series: Sequence[str],
+    values,  # values[group][series] -> float
+    unit: str = "ms",
+    width: int = 30,
+) -> str:
+    """Render grouped horizontal bars (one block per group, one bar per
+    series) — the text analogue of the paper's Figure 8/10 bar charts."""
+    peak = max(
+        (values[g][s] for g in groups for s in series if values[g].get(s)), default=1.0
+    )
+    lines = []
+    for g in groups:
+        lines.append(f"{g}:")
+        for s in series:
+            v = values[g].get(s)
+            if v is None:
+                lines.append(f"  {s:>10s} {'-':>10}")
+                continue
+            bar = "#" * max(1, int(width * v / peak)) if peak else ""
+            lines.append(f"  {s:>10s} {v:10.4f} {unit} {bar}")
+    return "\n".join(lines)

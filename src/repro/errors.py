@@ -1,0 +1,41 @@
+"""Exception hierarchy for the reproduction framework."""
+
+from __future__ import annotations
+
+
+class SYgraphError(Exception):
+    """Base class for all framework errors."""
+
+
+class DeviceError(SYgraphError):
+    """Raised for invalid device selection or configuration."""
+
+
+class OutOfMemoryError(SYgraphError):
+    """Raised when an allocation exceeds the simulated device VRAM.
+
+    Mirrors the OOM failures the paper reports for Gunrock (road-USA,
+    indochina CC) and Tigr (BC on large graphs) in Table 6.
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int, what: str = ""):
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+        self.what = what
+        super().__init__(
+            f"device out of memory allocating {requested} B for {what or 'buffer'}: "
+            f"{in_use} B in use of {capacity} B capacity"
+        )
+
+
+class FrontierError(SYgraphError):
+    """Raised on invalid frontier operations (size mismatch, wrong view)."""
+
+
+class GraphFormatError(SYgraphError):
+    """Raised on malformed graph input (bad CSR arrays, parse errors)."""
+
+
+class KernelError(SYgraphError):
+    """Raised when a simulated kernel launch is misconfigured."""

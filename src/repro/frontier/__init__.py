@@ -1,0 +1,48 @@
+"""Frontier data layouts (paper Section 4).
+
+The frontier is "the set of active vertices or edges during a graph
+algorithm iteration".  Four layouts are implemented:
+
+* :class:`~repro.frontier.bitmap.BitmapFrontier` — one bit per element
+  (Section 4.1), the baseline bitmap.
+* :class:`~repro.frontier.two_layer_bitmap.TwoLayerBitmapFrontier` — the
+  paper's primary contribution (Section 4.3): a secondary bitmap marks
+  which primary words are nonzero, so advance kernels skip empty words.
+* :class:`~repro.frontier.vector.VectorFrontier` — the Gunrock-style
+  dynamic vector with local-memory staging and duplicate accumulation
+  (Section 4, intro); used by the baselines.
+* :class:`~repro.frontier.boolmap.BoolmapFrontier` — the Grus-style
+  byte-per-vertex map (8x the memory of a bitmap; Section 4.1).
+
+All layouts implement the :class:`~repro.frontier.base.Frontier` interface
+so operators and algorithms are layout-agnostic, exactly like the C++
+framework's ``frontier_view_t`` templates.
+"""
+
+from repro.frontier.base import Frontier, FrontierView, make_frontier
+from repro.frontier.bitmap import BitmapFrontier
+from repro.frontier.boolmap import BoolmapFrontier
+from repro.frontier.multi_layer_bitmap import MultiLayerBitmapFrontier
+from repro.frontier.ops import (
+    frontier_intersection,
+    frontier_subtraction,
+    frontier_union,
+    swap,
+)
+from repro.frontier.two_layer_bitmap import TwoLayerBitmapFrontier
+from repro.frontier.vector import VectorFrontier
+
+__all__ = [
+    "Frontier",
+    "FrontierView",
+    "make_frontier",
+    "BitmapFrontier",
+    "MultiLayerBitmapFrontier",
+    "TwoLayerBitmapFrontier",
+    "VectorFrontier",
+    "BoolmapFrontier",
+    "frontier_union",
+    "frontier_intersection",
+    "frontier_subtraction",
+    "swap",
+]

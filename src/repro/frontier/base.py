@@ -1,0 +1,134 @@
+"""Abstract frontier interface and factory.
+
+Matches the C++ API surface of the paper's Section 3.1 "Frontier"
+component: a frontier can be queried for its status (count of active
+elements, emptiness), elements can be inserted/removed, and it can be
+cleared and swapped.  The ``FrontierView`` enum mirrors
+``frontier_view_t::vertex`` / ``::edge`` from Listing 1.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FrontierError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sycl.queue import Queue
+
+
+class FrontierView(enum.Enum):
+    """What kind of elements the frontier holds (Listing 1's template arg)."""
+
+    VERTEX = "vertex"
+    EDGE = "edge"
+
+
+class Frontier(abc.ABC):
+    """Set of active elements for one algorithm iteration.
+
+    Concrete layouts: bitmap, two-layer bitmap, vector, boolmap.  All
+    methods take/return NumPy integer arrays of element ids.
+    """
+
+    def __init__(self, queue: "Queue", n_elements: int, view: FrontierView):
+        if n_elements < 0:
+            raise FrontierError(f"frontier size must be >= 0, got {n_elements}")
+        self.queue = queue
+        self.n_elements = int(n_elements)
+        self.view = view
+
+    # -- mutation ------------------------------------------------------- #
+    @abc.abstractmethod
+    def insert(self, elements) -> None:
+        """Add element ids (scalar or array) to the frontier."""
+
+    @abc.abstractmethod
+    def remove(self, elements) -> None:
+        """Remove element ids from the frontier (absent ids are ignored)."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Empty the frontier (Listing 1 line 19)."""
+
+    # -- queries -------------------------------------------------------- #
+    @abc.abstractmethod
+    def count(self) -> int:
+        """Number of active elements (duplicates counted once)."""
+
+    @abc.abstractmethod
+    def active_elements(self) -> np.ndarray:
+        """Sorted unique active element ids as ``int64``."""
+
+    @abc.abstractmethod
+    def contains(self, elements) -> np.ndarray:
+        """Boolean membership mask for the given element ids."""
+
+    def empty(self) -> bool:
+        """True when no element is active (Listing 1 line 8)."""
+        return self.count() == 0
+
+    # -- memory --------------------------------------------------------- #
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Current device memory footprint of this frontier."""
+
+    # -- plumbing -------------------------------------------------------- #
+    @abc.abstractmethod
+    def _swap_payload(self, other: "Frontier") -> None:
+        """Exchange backing storage with ``other`` (same layout/size)."""
+
+    def _check_swappable(self, other: "Frontier") -> None:
+        if type(self) is not type(other):
+            raise FrontierError(
+                f"cannot swap {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.n_elements != other.n_elements:
+            raise FrontierError(
+                f"cannot swap frontiers of different sizes "
+                f"({self.n_elements} vs {other.n_elements})"
+            )
+
+    @staticmethod
+    def _as_ids(elements) -> np.ndarray:
+        ids = np.atleast_1d(np.asarray(elements, dtype=np.int64))
+        return ids
+
+
+def make_frontier(
+    queue: "Queue",
+    n_elements: int,
+    view: FrontierView = FrontierView.VERTEX,
+    layout: str = "2lb",
+    **kwargs,
+) -> Frontier:
+    """Create a frontier (paper's ``makeFrontier<view>(G)``).
+
+    ``layout`` selects the data layout: ``"2lb"`` (default, the paper's
+    Two-Layer Bitmap), ``"bitmap"``, ``"vector"``, ``"boolmap"`` or
+    ``"tree"`` (the §4.4 bitmap-tree; pass ``n_layers=...``).
+    Extra kwargs go to the layout constructor (e.g. ``bits=32``).
+    """
+    from repro.frontier.bitmap import BitmapFrontier
+    from repro.frontier.boolmap import BoolmapFrontier
+    from repro.frontier.multi_layer_bitmap import MultiLayerBitmapFrontier
+    from repro.frontier.two_layer_bitmap import TwoLayerBitmapFrontier
+    from repro.frontier.vector import VectorFrontier
+
+    layouts = {
+        "2lb": TwoLayerBitmapFrontier,
+        "bitmap": BitmapFrontier,
+        "vector": VectorFrontier,
+        "boolmap": BoolmapFrontier,
+        "tree": MultiLayerBitmapFrontier,  # §4.4's bitmap-tree (n_layers=...)
+    }
+    try:
+        cls = layouts[layout]
+    except KeyError:
+        raise FrontierError(f"unknown frontier layout {layout!r}; known: {sorted(layouts)}") from None
+    return cls(queue, n_elements, view, **kwargs)

@@ -1,0 +1,59 @@
+"""Grus-style boolmap frontier: one byte per element.
+
+"The Grus framework opted for a boolmap method, linking each vertex to a
+byte, but this increases memory use eightfold." (paper Section 4.1)
+
+Included as a comparator layout: duplicate-free like a bitmap, but with 8x
+the footprint and no cheap word-level skip of inactive regions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.frontier.base import Frontier, FrontierView
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sycl.queue import Queue
+
+
+class BoolmapFrontier(Frontier):
+    """Byte-per-element active map."""
+
+    def __init__(self, queue: "Queue", n_elements: int, view: FrontierView = FrontierView.VERTEX):
+        super().__init__(queue, n_elements, view)
+        self.flags = queue.malloc_shared(
+            (max(1, n_elements),), np.uint8, label="frontier.boolmap", fill=0
+        )
+
+    def insert(self, elements) -> None:
+        ids = self._as_ids(elements)
+        self.flags[ids] = 1
+
+    def remove(self, elements) -> None:
+        ids = self._as_ids(elements)
+        self.flags[ids] = 0
+
+    def clear(self) -> None:
+        self.flags[:] = 0
+
+    def count(self) -> int:
+        return int(self.flags.sum(dtype=np.int64))
+
+    def active_elements(self) -> np.ndarray:
+        return np.nonzero(self.flags)[0].astype(np.int64)
+
+    def contains(self, elements) -> np.ndarray:
+        ids = self._as_ids(elements)
+        return self.flags[ids] != 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.flags.nbytes)
+
+    def _swap_payload(self, other: Frontier) -> None:
+        self._check_swappable(other)
+        assert isinstance(other, BoolmapFrontier)
+        self.flags, other.flags = other.flags, self.flags

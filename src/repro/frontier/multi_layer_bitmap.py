@@ -1,0 +1,189 @@
+"""N-layer bitmap frontier — the bitmap-tree of the paper's Section 4.4.
+
+"Incorporating extra bitmap layers can refine our 2LB, turning the layout
+into a bitmap-tree. ... more than two layers add substantial overhead
+because of increased computation for nonzero integer offsets and extra
+synchronization during advance operations."
+
+This class generalizes the Two-Layer Bitmap to ``n_layers`` (layer *k* has
+one bit per layer-*k-1* word), so the trade-off can actually be measured:
+every insert/remove touches every layer, and the pre-advance offsets pass
+becomes a chain of one dependent kernel per layer.  The paper also notes
+that with a *dynamic* layer count the compiler cannot unroll the
+set-bit loop unless the backend supports SYCL specialization constants
+efficiently (mainly Intel); the advance accounts an extra per-layer
+instruction cost on backends without native spec constants.
+
+The ablation benchmark (``benchmarks/bench_bitmap_tree.py``) reproduces
+the paper's conclusion: two layers win.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.errors import FrontierError
+from repro.frontier import _bitops
+from repro.frontier.base import Frontier, FrontierView
+from repro.types import bitmap_dtype
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sycl.queue import Queue
+
+
+class MultiLayerBitmapFrontier(Frontier):
+    """Bitmap-tree frontier with a configurable number of layers.
+
+    ``n_layers=1`` is a flat bitmap, ``n_layers=2`` is the paper's 2LB.
+    Layer 0 is the element bitmap; layer ``k`` summarizes layer ``k-1``.
+    """
+
+    def __init__(
+        self,
+        queue: "Queue",
+        n_elements: int,
+        view: FrontierView = FrontierView.VERTEX,
+        bits: Optional[int] = None,
+        n_layers: int = 2,
+    ):
+        super().__init__(queue, n_elements, view)
+        if n_layers < 1:
+            raise FrontierError(f"n_layers must be >= 1, got {n_layers}")
+        self.bits = bits or queue.inspect().bitmap_bits
+        self.n_layers = n_layers
+        dtype = bitmap_dtype(self.bits)
+        self.layers: List[np.ndarray] = []
+        size = max(1, n_elements)
+        for k in range(n_layers):
+            n_words = _bitops.words_for(size, self.bits)
+            self.layers.append(
+                queue.malloc_shared((n_words,), dtype, label=f"frontier.mlb.l{k}", fill=0)
+            )
+            size = n_words
+            if size == 1 and k + 1 < n_layers:
+                # deeper layers would all be single words; stop early but
+                # keep the requested count for cost accounting
+                self.layers.extend(
+                    queue.malloc_shared((1,), dtype, label=f"frontier.mlb.l{j}", fill=0)
+                    for j in range(k + 1, n_layers)
+                )
+                break
+        self.offsets = queue.malloc_shared(
+            (self.layers[0].size,), np.int64, label="frontier.mlb.offsets", fill=0
+        )
+        self._n_offsets = 0
+
+    @property
+    def words(self) -> np.ndarray:
+        """Layer-0 words (the element bitmap), for bitmap-family interop."""
+        return self.layers[0]
+
+    @property
+    def n_words(self) -> int:
+        return int(self.layers[0].size)
+
+    # -- mutation ------------------------------------------------------- #
+    def insert(self, elements) -> None:
+        ids = self._validated(elements)
+        if ids.size == 0:
+            return
+        # every layer gets its summary bit — the per-insert cost that grows
+        # with tree depth (paper §4.4)
+        for layer in self.layers:
+            _bitops.set_bits(layer, ids, self.bits)
+            ids = np.unique(ids // self.bits)
+
+    def remove(self, elements) -> None:
+        ids = self._validated(elements)
+        if ids.size == 0:
+            return
+        _bitops.clear_bits(self.layers[0], ids, self.bits)
+        below = self.layers[0]
+        ids = np.unique(ids // self.bits)
+        for layer in self.layers[1:]:
+            now_zero = ids[below[ids] == 0]
+            _bitops.clear_bits(layer, now_zero, self.bits)
+            below = layer
+            ids = np.unique(ids // self.bits)
+
+    def clear(self) -> None:
+        for layer in self.layers:
+            layer[:] = 0
+        self._n_offsets = 0
+
+    # -- queries -------------------------------------------------------- #
+    def count(self) -> int:
+        return _bitops.count_set_bits(self.layers[0])
+
+    def active_elements(self) -> np.ndarray:
+        nz = self.nonzero_words()
+        return _bitops.expand_selected_words(self.layers[0], nz, self.bits, self.n_elements)
+
+    def contains(self, elements) -> np.ndarray:
+        ids = self._validated(elements)
+        return _bitops.test_bits(self.layers[0], ids, self.bits)
+
+    def nonzero_words(self) -> np.ndarray:
+        """Walk the tree top-down to the nonzero layer-0 word indices."""
+        top = len(self.layers) - 1
+        candidates = _bitops.expand_words(
+            self.layers[top], self.bits, self.layers[top].size * self.bits
+        )
+        candidates = candidates[candidates < (self.layers[top - 1].size if top else self.n_words)]
+        for k in range(top - 1, 0, -1):
+            layer = self.layers[k]
+            candidates = candidates[layer[candidates] != 0]
+            candidates = _bitops.expand_selected_words(
+                layer, candidates, self.bits, self.layers[k - 1].size
+            )
+        if top == 0:
+            return np.nonzero(self.layers[0])[0].astype(np.int64)
+        return candidates[self.layers[0][candidates] != 0]
+
+    def compute_offsets(self) -> np.ndarray:
+        """Pre-advance pass: one dependent traversal per extra layer."""
+        nz = self.nonzero_words()
+        self._n_offsets = nz.size
+        self.offsets[: nz.size] = nz
+        return self.offsets[: nz.size]
+
+    @property
+    def n_offsets(self) -> int:
+        return self._n_offsets
+
+    # -- memory --------------------------------------------------------- #
+    @property
+    def nbytes(self) -> int:
+        return int(sum(layer.nbytes for layer in self.layers) + self.offsets.nbytes)
+
+    # -- plumbing -------------------------------------------------------- #
+    def _swap_payload(self, other: Frontier) -> None:
+        self._check_swappable(other)
+        assert isinstance(other, MultiLayerBitmapFrontier)
+        if self.n_layers != other.n_layers:
+            raise FrontierError("cannot swap bitmap-trees of different depths")
+        self.layers, other.layers = other.layers, self.layers
+        self.offsets, other.offsets = other.offsets, self.offsets
+        self._n_offsets, other._n_offsets = other._n_offsets, self._n_offsets
+
+    def check_invariant(self) -> bool:
+        """Every layer-k bit == (layer-(k-1) word nonzero), all k."""
+        below = self.layers[0]
+        for layer in self.layers[1:]:
+            expected = np.nonzero(below)[0]
+            flagged = _bitops.expand_words(layer, self.bits, below.size)
+            if not np.array_equal(np.asarray(expected, dtype=np.int64), flagged):
+                return False
+            below = layer
+        return True
+
+    def _validated(self, elements) -> np.ndarray:
+        ids = self._as_ids(elements)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n_elements):
+            raise FrontierError(
+                f"element id out of range [0, {self.n_elements}): "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        return ids

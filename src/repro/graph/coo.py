@@ -1,0 +1,100 @@
+"""Coordinate (edge-list) graph form.
+
+The COO form is the interchange format: file readers and generators
+produce it, the :class:`~repro.graph.builder.GraphBuilder` converts it to
+CSR/CSC.  It is host-side only (no device allocation) — the paper's
+pipeline likewise assembles graphs on the host before transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.types import vertex_t, weight_t
+
+
+@dataclass
+class COOGraph:
+    """Directed graph as parallel (src, dst, weight) arrays."""
+
+    n_vertices: int
+    src: np.ndarray
+    dst: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.src = np.asarray(self.src, dtype=vertex_t)
+        self.dst = np.asarray(self.dst, dtype=vertex_t)
+        if self.src.shape != self.dst.shape:
+            raise GraphFormatError(
+                f"src/dst length mismatch: {self.src.shape} vs {self.dst.shape}"
+            )
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=weight_t)
+            if self.weights.shape != self.src.shape:
+                raise GraphFormatError("weights length must match edge count")
+        if self.src.size:
+            hi = max(int(self.src.max()), int(self.dst.max()))
+            if hi >= self.n_vertices:
+                raise GraphFormatError(
+                    f"vertex id {hi} out of range for n_vertices={self.n_vertices}"
+                )
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.src.size)
+
+    def with_unit_weights(self) -> "COOGraph":
+        """Return a copy with weight 1.0 on every edge (for SSSP on
+        unweighted inputs)."""
+        return COOGraph(
+            self.n_vertices,
+            self.src.copy(),
+            self.dst.copy(),
+            np.ones(self.n_edges, dtype=weight_t),
+        )
+
+    def symmetrized(self) -> "COOGraph":
+        """Return the graph with every edge mirrored (deduplicated).
+
+        Used for CC, which the paper runs on the underlying undirected
+        graph, and for undirected datasets stored as single arcs.
+        """
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        w = None
+        if self.weights is not None:
+            w = np.concatenate([self.weights, self.weights])
+        # dedupe identical arcs
+        key = src.astype(np.int64) * self.n_vertices + dst.astype(np.int64)
+        _, idx = np.unique(key, return_index=True)
+        return COOGraph(
+            self.n_vertices,
+            src[idx],
+            dst[idx],
+            None if w is None else w[idx],
+        )
+
+    def deduplicated(self) -> "COOGraph":
+        """Remove exact duplicate arcs (keeping the first weight)."""
+        key = self.src.astype(np.int64) * self.n_vertices + self.dst.astype(np.int64)
+        _, idx = np.unique(key, return_index=True)
+        return COOGraph(
+            self.n_vertices,
+            self.src[idx],
+            self.dst[idx],
+            None if self.weights is None else self.weights[idx],
+        )
+
+    def without_self_loops(self) -> "COOGraph":
+        keep = self.src != self.dst
+        return COOGraph(
+            self.n_vertices,
+            self.src[keep],
+            self.dst[keep],
+            None if self.weights is None else self.weights[keep],
+        )

@@ -1,0 +1,180 @@
+"""Dynamic graph support — the §3.1 motivation for custom representations.
+
+"User-defined custom graph representations can improve performance and
+scalability in dynamic graphs, which require efficient data structures and
+algorithms for GPU processing as they evolve with vertex or edge changes."
+
+:class:`DynamicGraph` is a Hornet-style hybrid: a compacted CSR *base*
+plus an append-only edge *delta* buffer.  Insertions go to the delta in
+O(1); reads merge base + delta on the fly; when the delta outgrows
+``rebuild_threshold`` (fraction of base edges), the structure compacts
+back into a fresh CSR — the amortized-rebuild strategy dynamic GPU graph
+structures use.  It implements the full operator interface
+(:data:`~repro.graph.csr.GRAPH_INTERFACE_METHODS` + ``edge_endpoints``),
+so every algorithm runs on an evolving graph unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOGraph
+from repro.types import weight_t
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sycl.queue import Queue
+
+
+class DynamicGraph:
+    """CSR base + edge-delta buffer with amortized rebuilds."""
+
+    def __init__(
+        self,
+        queue: "Queue",
+        coo: COOGraph,
+        rebuild_threshold: float = 0.25,
+    ):
+        from repro.graph.builder import GraphBuilder
+
+        self.queue = queue
+        self.rebuild_threshold = rebuild_threshold
+        self._builder = GraphBuilder(queue)
+        self._base = self._builder.to_csr(coo)
+        self._n = coo.n_vertices
+        self._delta_src: List[np.ndarray] = []
+        self._delta_dst: List[np.ndarray] = []
+        self._delta_w: List[np.ndarray] = []
+        self._delta_count = 0
+        self.rebuilds = 0
+
+    # -- mutation --------------------------------------------------------- #
+    def insert_edges(self, src, dst, weights=None) -> None:
+        """Append edges; compacts into the base CSR past the threshold."""
+        src = np.atleast_1d(np.asarray(src, dtype=np.int64))
+        dst = np.atleast_1d(np.asarray(dst, dtype=np.int64))
+        if src.shape != dst.shape:
+            raise GraphFormatError("src/dst length mismatch")
+        if src.size and (min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= self._n):
+            raise GraphFormatError(f"vertex id out of range [0, {self._n})")
+        w = (
+            np.atleast_1d(np.asarray(weights, dtype=weight_t))
+            if weights is not None
+            else np.ones(src.size, dtype=weight_t)
+        )
+        if w.shape != src.shape:
+            raise GraphFormatError("weights length mismatch")
+        self._delta_src.append(src)
+        self._delta_dst.append(dst)
+        self._delta_w.append(w)
+        self._delta_count += int(src.size)
+        if self._delta_count > self.rebuild_threshold * max(1, self._base.n_edges):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Compact base + delta into a fresh CSR (the amortized step)."""
+        coo = self.to_coo()
+        old = self._base
+        self._base = self._builder.to_csr(coo)
+        old.free()
+        self._delta_src.clear()
+        self._delta_dst.clear()
+        self._delta_w.clear()
+        self._delta_count = 0
+        self.rebuilds += 1
+
+    # -- interface --------------------------------------------------------- #
+    def get_vertex_count(self) -> int:
+        return self._n
+
+    def get_edge_count(self) -> int:
+        return self._base.n_edges + self._delta_count
+
+    @property
+    def n_vertices(self) -> int:
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        return self.get_edge_count()
+
+    @property
+    def delta_edges(self) -> int:
+        """Edges currently waiting in the delta buffer."""
+        return self._delta_count
+
+    @property
+    def weights(self):
+        # weights are only consulted through gather_neighbors; expose the
+        # base array so `is-weighted` checks behave
+        return self._base.weights
+
+    def out_degrees(self, vertices: Optional[np.ndarray] = None) -> np.ndarray:
+        base = self._base.out_degrees(vertices)
+        if self._delta_count == 0:
+            return base
+        dsrc = np.concatenate(self._delta_src)
+        delta_deg = np.bincount(dsrc, minlength=self._n)
+        if vertices is None:
+            return base + delta_deg
+        return base + delta_deg[np.asarray(vertices, dtype=np.int64)]
+
+    def neighbor_ranges(self, vertices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        # ranges are only meaningful on the base; operators use
+        # gather_neighbors, which merges the delta
+        return self._base.neighbor_ranges(vertices)
+
+    def gather_neighbors(self, vertices: np.ndarray):
+        src, dst, eid, w = self._base.gather_neighbors(vertices)
+        if self._delta_count == 0:
+            return src, dst, eid, w
+        v = np.asarray(vertices, dtype=np.int64)
+        dsrc = np.concatenate(self._delta_src)
+        ddst = np.concatenate(self._delta_dst)
+        dw = np.concatenate(self._delta_w)
+        sel = np.isin(dsrc, v)
+        if not sel.any():
+            return src, dst, eid, w
+        # delta edges get ids past the base edge space
+        delta_ids = np.nonzero(sel)[0] + self._base.n_edges
+        return (
+            np.concatenate([src, dsrc[sel]]),
+            np.concatenate([dst, ddst[sel]]),
+            np.concatenate([eid, delta_ids]),
+            np.concatenate([w, dw[sel]]),
+        )
+
+    def edge_endpoints(self, edge_ids: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        e = np.asarray(edge_ids, dtype=np.int64)
+        base_n = self._base.n_edges
+        in_base = e < base_n
+        src = np.empty(e.size, dtype=np.int64)
+        dst = np.empty(e.size, dtype=np.int64)
+        if in_base.any():
+            s, d = self._base.edge_endpoints(e[in_base])
+            src[in_base], dst[in_base] = s, d
+        if (~in_base).any():
+            dsrc = np.concatenate(self._delta_src)
+            ddst = np.concatenate(self._delta_dst)
+            idx = e[~in_base] - base_n
+            src[~in_base], dst[~in_base] = dsrc[idx], ddst[idx]
+        return src, dst
+
+    def to_coo(self) -> COOGraph:
+        base = self._base.to_coo()
+        if self._delta_count == 0:
+            return base
+        return COOGraph(
+            self._n,
+            np.concatenate([base.src, *self._delta_src]),
+            np.concatenate([base.dst, *self._delta_dst]),
+            None
+            if base.weights is None
+            else np.concatenate([base.weights, *self._delta_w]),
+        )
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        _, dst, _, _ = self.gather_neighbors(np.array([vertex]))
+        return np.sort(dst)

@@ -1,0 +1,274 @@
+"""Synthetic graph generators.
+
+These produce the workload families of the paper's Table 3 (DESIGN.md
+substitution #3):
+
+* :func:`rmat` — the R-MAT recursive model used for ``kron-g500-logn21``;
+* :func:`road_network` — 2-D lattice with perturbations: large diameter,
+  near-uniform low degree (``roadNet-CA``, ``road-USA``);
+* :func:`preferential_attachment` — scale-free social networks with heavy
+  hubs (``soc-twitter-2010``, ``LiveJournal``, ``Hollywood-2009``);
+* :func:`web_graph` — hierarchical host/page model with hub pages and
+  dense intra-host linkage (``Indochina-2004``);
+* :func:`erdos_renyi` and tiny deterministic shapes for tests.
+
+All generators are deterministic given a ``seed`` and return host-side
+:class:`~repro.graph.coo.COOGraph` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.coo import COOGraph
+from repro.types import weight_t
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE if seed is None else seed)
+
+
+def _attach_weights(coo: COOGraph, rng: np.random.Generator, weighted: bool) -> COOGraph:
+    if not weighted:
+        return coo
+    coo.weights = rng.uniform(1.0, 10.0, size=coo.n_edges).astype(weight_t)
+    return coo
+
+
+# --------------------------------------------------------------------- #
+# R-MAT (Chakrabarti et al. 2004) — the kron dataset family             #
+# --------------------------------------------------------------------- #
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+    dedupe: bool = True,
+) -> COOGraph:
+    """R-MAT graph with ``2**scale`` vertices and ``edge_factor * 2**scale``
+    edge draws (Graph500 defaults a/b/c/d = 0.57/0.19/0.19/0.05).
+
+    Fully vectorized: one quadrant draw per recursion level for all edges
+    at once.  Duplicates are removed by default (like Graph500's kernel 1),
+    so the final edge count is slightly below the number of draws.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("a + b + c must be <= 1")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(m)
+        # quadrant probabilities: A (0,0), B (0,1), C (1,0), D (1,1)
+        src_bit = (r >= a + b).astype(np.int64)
+        dst_bit = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    coo = COOGraph(n, src, dst)
+    coo = coo.without_self_loops()
+    if dedupe:
+        coo = coo.deduplicated()
+    return _attach_weights(coo, rng, weighted)
+
+
+# --------------------------------------------------------------------- #
+# Road networks — CA / USA family                                       #
+# --------------------------------------------------------------------- #
+def road_network(
+    width: int,
+    height: int,
+    drop_fraction: float = 0.08,
+    diagonal_fraction: float = 0.03,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+) -> COOGraph:
+    """Perturbed 2-D lattice road network (both arcs of each road).
+
+    Grid edges connect 4-neighbors; ``drop_fraction`` of them are removed
+    (rivers/terrain) and ``diagonal_fraction`` diagonal shortcuts added
+    (highways), giving the large-diameter, degree<=~8 profile of the
+    paper's road datasets.
+    """
+    rng = _rng(seed)
+    n = width * height
+    xs, ys = np.meshgrid(np.arange(width), np.arange(height), indexing="xy")
+    vid = (ys * width + xs).ravel()
+
+    right = vid[(xs < width - 1).ravel()]
+    down = vid[(ys < height - 1).ravel()]
+    edges_src = np.concatenate([right, down])
+    edges_dst = np.concatenate([right + 1, down + width])
+
+    keep = rng.random(edges_src.size) >= drop_fraction
+    edges_src, edges_dst = edges_src[keep], edges_dst[keep]
+
+    n_diag = int(diagonal_fraction * edges_src.size)
+    if n_diag:
+        dx = vid[((xs < width - 1) & (ys < height - 1)).ravel()]
+        pick = rng.choice(dx.size, size=min(n_diag, dx.size), replace=False)
+        edges_src = np.concatenate([edges_src, dx[pick]])
+        edges_dst = np.concatenate([edges_dst, dx[pick] + width + 1])
+
+    coo = COOGraph(n, edges_src, edges_dst).symmetrized()
+    return _attach_weights(coo, rng, weighted)
+
+
+# --------------------------------------------------------------------- #
+# Preferential attachment — social network family                       #
+# --------------------------------------------------------------------- #
+def preferential_attachment(
+    n: int,
+    m: int = 8,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+) -> COOGraph:
+    """Barabási–Albert scale-free graph: each new vertex attaches ``m``
+    edges to existing vertices with probability proportional to degree.
+
+    Implemented with the repeated-endpoint trick (every accepted edge
+    appends both endpoints to a pool sampled uniformly), processing
+    vertices in chunks so the hot loop stays vectorized.
+    """
+    if n <= m:
+        raise ValueError("n must exceed m")
+    rng = _rng(seed)
+    # seed clique among the first m+1 vertices
+    seed_src, seed_dst = np.triu_indices(m + 1, k=1)
+    # preallocated endpoint pool: every accepted edge contributes both ends
+    max_pool = 2 * (seed_src.size + (n - m - 1) * m)
+    pool = np.empty(max_pool, dtype=np.int64)
+    pool[: seed_src.size] = seed_src
+    pool[seed_src.size : 2 * seed_src.size] = seed_dst
+    pool_size = 2 * seed_src.size
+    srcs = [seed_src.astype(np.int64)]
+    dsts = [seed_dst.astype(np.int64)]
+    for v in range(m + 1, n):
+        targets = np.unique(pool[rng.integers(0, pool_size, size=m)])
+        k = targets.size
+        srcs.append(np.full(k, v, dtype=np.int64))
+        dsts.append(targets)
+        pool[pool_size : pool_size + k] = v
+        pool[pool_size + k : pool_size + 2 * k] = targets
+        pool_size += 2 * k
+    coo = COOGraph(n, np.concatenate(srcs), np.concatenate(dsts)).symmetrized()
+    return _attach_weights(coo, rng, weighted)
+
+
+# --------------------------------------------------------------------- #
+# Hierarchical web graph — Indochina family                             #
+# --------------------------------------------------------------------- #
+def web_graph(
+    n_hosts: int,
+    pages_per_host: int,
+    intra_degree: int = 12,
+    inter_fraction: float = 0.08,
+    hub_fraction: float = 0.002,
+    orphan_fraction: float = 0.25,
+    seed: Optional[int] = None,
+    weighted: bool = False,
+) -> COOGraph:
+    """Hierarchical host/page web-crawl model.
+
+    Pages link densely within their host (navigation structure), a small
+    fraction of links cross hosts, and a few *hub* pages (index pages,
+    link farms) receive enormous in-degree — reproducing Indochina-2004's
+    256K max degree at 52 average.
+
+    ``orphan_fraction`` of each host's trailing pages receive no in-links
+    (crawl-seed pages discovered out-of-band): BFS never reaches them,
+    leaving contiguous permanently-zero regions in any frontier bitmap —
+    the real crawl-graph property the Two-Layer Bitmap exploits.
+    """
+    rng = _rng(seed)
+    n = n_hosts * pages_per_host
+    page_host = np.arange(n, dtype=np.int64) // pages_per_host
+    orphan_start = max(1, int(pages_per_host * (1.0 - orphan_fraction)))
+
+    def deorphan(targets: np.ndarray) -> np.ndarray:
+        """Remap link targets off orphan pages (keep them unreferenced)."""
+        local = targets % pages_per_host
+        return np.where(
+            local >= orphan_start,
+            (targets // pages_per_host) * pages_per_host + local % orphan_start,
+            targets,
+        )
+
+    # intra-host links: each page links to `intra_degree` pages *near* it
+    # within its host (navigation templates link forward a few hops), so a
+    # host's internal diameter is pages/window — crawl graphs are deep.
+    window = max(2, min(2 * intra_degree, pages_per_host - 1))
+    src = np.repeat(np.arange(n, dtype=np.int64), intra_degree)
+    offset = rng.integers(1, window + 1, size=src.size)
+    dst = page_host[src] * pages_per_host + (src % pages_per_host + offset) % pages_per_host
+
+    # inter-host links: a small fraction rewires to *neighboring* hosts
+    # (crawls discover hosts through chains of referring sites), keeping
+    # the host-level graph deep too.
+    cross = rng.random(src.size) < inter_fraction
+    n_cross = int(cross.sum())
+    host_jump = rng.integers(-3, 4, size=n_cross)
+    tgt_host = (page_host[src[cross]] + host_jump) % max(1, n_hosts)
+    dst[cross] = tgt_host * pages_per_host + rng.integers(0, pages_per_host, size=n_cross)
+
+    # hub pages (index pages / link farms): they receive links from pages
+    # everywhere AND link out to a big slice of their neighborhood — this
+    # is what gives Indochina-2004 its 256K max degree at only 52 average.
+    hubs = rng.choice(n, size=max(1, int(hub_fraction * n)), replace=False)
+    hub_in_src = rng.integers(0, n, size=n // 8)
+    hub_in_dst = hubs[rng.integers(0, hubs.size, size=hub_in_src.size)]
+    out_per_hub = max(4, n // 40)
+    hub_out_src = np.repeat(hubs, out_per_hub)
+    spread = pages_per_host * 8
+    hub_out_dst = (hub_out_src + rng.integers(1, max(2, spread), size=hub_out_src.size)) % n
+
+    all_src = np.concatenate([src, hub_in_src, hub_out_src])
+    all_dst = deorphan(np.concatenate([dst, hub_in_dst, hub_out_dst]))
+    coo = COOGraph(n, all_src, all_dst).without_self_loops().deduplicated()
+    return _attach_weights(coo, rng, weighted)
+
+
+# --------------------------------------------------------------------- #
+# Misc / test shapes                                                    #
+# --------------------------------------------------------------------- #
+def erdos_renyi(
+    n: int, avg_degree: float, seed: Optional[int] = None, weighted: bool = False
+) -> COOGraph:
+    """G(n, m) random graph with ``n * avg_degree`` directed edges."""
+    rng = _rng(seed)
+    m = int(n * avg_degree)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    coo = COOGraph(n, src, dst).without_self_loops().deduplicated()
+    return _attach_weights(coo, rng, weighted)
+
+
+def path_graph(n: int) -> COOGraph:
+    """0 -> 1 -> ... -> n-1 (directed path)."""
+    v = np.arange(n - 1, dtype=np.int64)
+    return COOGraph(n, v, v + 1)
+
+
+def cycle_graph(n: int) -> COOGraph:
+    v = np.arange(n, dtype=np.int64)
+    return COOGraph(n, v, (v + 1) % n)
+
+
+def star_graph(n: int) -> COOGraph:
+    """Hub 0 pointing at spokes 1..n-1 — the high-degree stress shape."""
+    return COOGraph(n, np.zeros(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64))
+
+
+def complete_graph(n: int) -> COOGraph:
+    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    mask = src != dst
+    return COOGraph(n, src[mask].astype(np.int64), dst[mask].astype(np.int64))

@@ -1,0 +1,253 @@
+"""Graph input/output — the SYgraph IO API (paper Section 3.1).
+
+Four formats:
+
+* **edge list** — whitespace-separated ``src dst [weight]`` lines with
+  ``#``/``%`` comments (SNAP-style, what Network Repository ships);
+* **Matrix Market** (``.mtx``) coordinate format, pattern or real,
+  general or symmetric — what SuiteSparse ships;
+* **DIMACS** (``.gr``) shortest-path format — how the paper's road-USA
+  dataset is distributed (9th DIMACS Implementation Challenge);
+* **NPZ** — NumPy binary for fast reload of built CSR arrays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOGraph
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------- #
+# edge list                                                             #
+# --------------------------------------------------------------------- #
+def read_edge_list(path_or_file: Union[PathLike, TextIO], n_vertices: Optional[int] = None) -> COOGraph:
+    """Parse a SNAP-style edge list into COO form.
+
+    Lines starting with ``#`` or ``%`` are comments.  Two columns give an
+    unweighted graph; a third column is parsed as edge weight.
+    """
+    close = False
+    f: TextIO
+    if isinstance(path_or_file, (str, Path)):
+        f = open(path_or_file, "r")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        rows = []
+        weighted = None
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"line {lineno}: expected 'src dst [w]', got {line!r}")
+            if weighted is None:
+                weighted = len(parts) >= 3
+            rows.append(parts[:3] if weighted else parts[:2])
+        if not rows:
+            return COOGraph(n_vertices or 0, np.empty(0, np.int64), np.empty(0, np.int64))
+        arr = np.array(rows)
+        src = arr[:, 0].astype(np.int64)
+        dst = arr[:, 1].astype(np.int64)
+        w = arr[:, 2].astype(np.float32) if weighted and arr.shape[1] > 2 else None
+        n = n_vertices or int(max(src.max(), dst.max()) + 1)
+        return COOGraph(n, src, dst, w)
+    finally:
+        if close:
+            f.close()
+
+
+def write_edge_list(coo: COOGraph, path_or_file: Union[PathLike, TextIO]) -> None:
+    """Write COO edges as ``src dst [weight]`` lines."""
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        f = open(path_or_file, "w")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        f.write(f"# repro edge list: {coo.n_vertices} vertices, {coo.n_edges} edges\n")
+        if coo.weights is None:
+            for s, d in zip(coo.src, coo.dst):
+                f.write(f"{s} {d}\n")
+        else:
+            for s, d, w in zip(coo.src, coo.dst, coo.weights):
+                f.write(f"{s} {d} {w}\n")
+    finally:
+        if close:
+            f.close()
+
+
+# --------------------------------------------------------------------- #
+# Matrix Market                                                         #
+# --------------------------------------------------------------------- #
+def read_matrix_market(path_or_file: Union[PathLike, TextIO]) -> COOGraph:
+    """Parse an ``.mtx`` coordinate file (pattern/real, general/symmetric).
+
+    Vertex ids in the file are 1-based per the MM spec; the returned graph
+    is 0-based.  Symmetric matrices are expanded to both arcs.
+    """
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        f = open(path_or_file, "r")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        header = f.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise GraphFormatError("missing %%MatrixMarket header")
+        tokens = header.split()
+        if len(tokens) < 5 or tokens[1] != "matrix" or tokens[2] != "coordinate":
+            raise GraphFormatError(f"unsupported MatrixMarket header: {header!r}")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("pattern", "real", "integer"):
+            raise GraphFormatError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise GraphFormatError(f"unsupported symmetry {symmetry!r}")
+
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        dims = line.split()
+        if len(dims) < 3:
+            raise GraphFormatError(f"bad size line: {line!r}")
+        nrows, ncols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+        n = max(nrows, ncols)
+
+        data = np.loadtxt(f, ndmin=2) if nnz else np.empty((0, 2))
+        if data.shape[0] != nnz:
+            raise GraphFormatError(f"expected {nnz} entries, found {data.shape[0]}")
+        src = data[:, 0].astype(np.int64) - 1
+        dst = data[:, 1].astype(np.int64) - 1
+        w = data[:, 2].astype(np.float32) if (field != "pattern" and data.shape[1] > 2) else None
+        coo = COOGraph(n, src, dst, w)
+        if symmetry == "symmetric":
+            coo = coo.symmetrized()
+        return coo
+    finally:
+        if close:
+            f.close()
+
+
+def write_matrix_market(coo: COOGraph, path_or_file: Union[PathLike, TextIO]) -> None:
+    """Write a COO graph as a general coordinate ``.mtx`` file (1-based)."""
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        f = open(path_or_file, "w")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        field = "pattern" if coo.weights is None else "real"
+        f.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+        f.write(f"{coo.n_vertices} {coo.n_vertices} {coo.n_edges}\n")
+        if coo.weights is None:
+            for s, d in zip(coo.src, coo.dst):
+                f.write(f"{s + 1} {d + 1}\n")
+        else:
+            for s, d, w in zip(coo.src, coo.dst, coo.weights):
+                f.write(f"{s + 1} {d + 1} {w}\n")
+    finally:
+        if close:
+            f.close()
+
+
+# --------------------------------------------------------------------- #
+# NPZ binary                                                            #
+# --------------------------------------------------------------------- #
+def save_npz(coo: COOGraph, path: PathLike) -> None:
+    """Save COO arrays to a compressed ``.npz`` file."""
+    payload = dict(n_vertices=np.int64(coo.n_vertices), src=coo.src, dst=coo.dst)
+    if coo.weights is not None:
+        payload["weights"] = coo.weights
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: PathLike) -> COOGraph:
+    """Load a graph previously stored with :func:`save_npz`."""
+    with np.load(path) as data:
+        return COOGraph(
+            int(data["n_vertices"]),
+            data["src"],
+            data["dst"],
+            data["weights"] if "weights" in data.files else None,
+        )
+
+
+# --------------------------------------------------------------------- #
+# DIMACS shortest-path (.gr)                                            #
+# --------------------------------------------------------------------- #
+def read_dimacs(path_or_file: Union[PathLike, TextIO]) -> COOGraph:
+    """Parse a 9th-DIMACS-challenge ``.gr`` file (road-USA's native format).
+
+    Lines: ``c <comment>``, ``p sp <n> <m>``, ``a <src> <dst> <weight>``
+    with 1-based vertex ids.
+    """
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        f = open(path_or_file, "r")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        n = None
+        srcs, dsts, ws = [], [], []
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line[0] == "c":
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) < 4 or parts[1] != "sp":
+                    raise GraphFormatError(f"line {lineno}: bad problem line {line!r}")
+                n = int(parts[2])
+            elif parts[0] == "a":
+                if n is None:
+                    raise GraphFormatError(f"line {lineno}: arc before problem line")
+                if len(parts) < 4:
+                    raise GraphFormatError(f"line {lineno}: expected 'a src dst w'")
+                srcs.append(int(parts[1]) - 1)
+                dsts.append(int(parts[2]) - 1)
+                ws.append(float(parts[3]))
+            else:
+                raise GraphFormatError(f"line {lineno}: unknown record {parts[0]!r}")
+        if n is None:
+            raise GraphFormatError("missing 'p sp' problem line")
+        return COOGraph(
+            n,
+            np.asarray(srcs, dtype=np.int64),
+            np.asarray(dsts, dtype=np.int64),
+            np.asarray(ws, dtype=np.float32),
+        )
+    finally:
+        if close:
+            f.close()
+
+
+def write_dimacs(coo: COOGraph, path_or_file: Union[PathLike, TextIO]) -> None:
+    """Write a weighted COO graph as a DIMACS ``.gr`` file (1-based)."""
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        f = open(path_or_file, "w")
+        close = True
+    else:
+        f = path_or_file
+    try:
+        f.write("c repro DIMACS export\n")
+        f.write(f"p sp {coo.n_vertices} {coo.n_edges}\n")
+        weights = coo.weights if coo.weights is not None else np.ones(coo.n_edges)
+        for s_, d_, w_ in zip(coo.src, coo.dst, weights):
+            f.write(f"a {s_ + 1} {d_ + 1} {w_:g}\n")
+    finally:
+        if close:
+            f.close()

@@ -1,0 +1,34 @@
+"""SYgraph primitives (paper Table 2).
+
+Namespaces mirror the C++ API::
+
+    operators::advance::vertices(G, [out], functor)
+    operators::advance::frontier(G, in, [out], functor)
+    operators::filter::inplace(G, frontier, functor)
+    operators::filter::external(G, in, out, functor)
+    operators::compute::execute(G, frontier, functor)
+
+plus the frontier-pair segmented intersection of Figure 3.  Every
+primitive executes its effect with vectorized NumPy, characterizes the
+kernel it *would* have launched (geometry, lane utilization, memory
+address streams), submits that to the queue's cost model, and returns the
+:class:`~repro.sycl.event.Event` — so algorithm code can ``.wait()`` just
+like Listing 1.
+"""
+
+from repro.operators import advance, compute, filter  # noqa: A004 - paper name
+from repro.operators.advance import AdvanceConfig
+from repro.operators.edge_advance import edges_to_vertices, vertices_to_edges
+from repro.operators.functor import scalar_functor
+from repro.operators.intersection import segmented_intersection
+
+__all__ = [
+    "advance",
+    "compute",
+    "filter",
+    "AdvanceConfig",
+    "scalar_functor",
+    "segmented_intersection",
+    "vertices_to_edges",
+    "edges_to_vertices",
+]

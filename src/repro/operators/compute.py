@@ -1,0 +1,65 @@
+"""The *compute* primitive (paper Table 2).
+
+``compute.execute(G, frontier, functor)`` applies the functor to every
+active element.  It is "kept separate from the advance because it does not
+present the same load balancing challenges" (§3.1): the launch is a plain
+``range`` (global size only, Section 3.3) with one workitem per active
+element, so global memory access is naturally coalesced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontier.base import Frontier
+from repro.operators.advance import REGION_USERDATA
+from repro.perfmodel.cost import KernelWorkload
+from repro.sycl.event import Event
+from repro.sycl.ndrange import Range
+
+
+def execute(graph, frontier: Frontier, functor, write_bytes: int = 8) -> Event:
+    """Apply ``functor(ids)`` to the frontier's active elements.
+
+    The functor mutates user data in place (Listing 1 lines 14-17:
+    ``dist[v] = iter + 1``); ``write_bytes`` sizes the per-element store
+    for cost accounting.
+    """
+    queue = graph.queue
+    ids = frontier.active_elements()
+    if ids.size:
+        functor(ids)
+
+    spec = queue.device.spec
+    geom = Range(max(1, ids.size)).resolve(
+        spec.max_workgroup_size // 4, spec.preferred_subgroup_size
+    )
+    wl = KernelWorkload(
+        name="compute.execute",
+        geometry=geom,
+        active_lanes=int(ids.size),
+        instructions_per_lane=6.0,
+    )
+    if ids.size:
+        wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
+    return queue.submit(wl)
+
+
+def execute_all(graph, functor, write_bytes: int = 8) -> Event:
+    """Apply ``functor`` to **every** vertex (initialization sweeps)."""
+    queue = graph.queue
+    n = graph.get_vertex_count()
+    ids = np.arange(n, dtype=np.int64)
+    if n:
+        functor(ids)
+    spec = queue.device.spec
+    geom = Range(max(1, n)).resolve(spec.max_workgroup_size // 4, spec.preferred_subgroup_size)
+    wl = KernelWorkload(
+        name="compute.execute_all",
+        geometry=geom,
+        active_lanes=n,
+        instructions_per_lane=4.0,
+    )
+    if n:
+        wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
+    return queue.submit(wl)

@@ -1,0 +1,156 @@
+"""Edge-view advance variants (paper Table 2's edge frontiers).
+
+SYgraph frontiers come in vertex and edge views
+(``frontier_view_t::vertex`` / ``::edge``); an edge frontier marks active
+*edges* by id in a bitmap of size ``ceil(|E|/b)``.  Two conversions close
+the loop with vertex frontiers:
+
+* :func:`vertices_to_edges` (V2E) — traverse the out-edges of an input
+  vertex frontier; the functor selects which **edges** enter the output
+  edge frontier;
+* :func:`edges_to_vertices` (E2V) — look up the endpoints of the active
+  edges; the functor selects which **destination vertices** enter the
+  output vertex frontier.
+
+``V2E ∘ E2V`` composes to exactly the plain V2V advance, which the test
+suite verifies by building BFS from the pair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.frontier.base import Frontier, FrontierView
+from repro.operators.advance import (
+    REGION_COL_IDX,
+    REGION_FRONTIER_IN,
+    REGION_FRONTIER_OUT,
+    REGION_ROW_PTR,
+    REGION_USERDATA,
+    AdvanceConfig,
+)
+from repro.operators.functor import as_mask
+from repro.operators.load_balance import characterize_bitmap_advance
+from repro.perfmodel.cost import KernelWorkload
+from repro.sycl.event import Event
+from repro.sycl.ndrange import Range
+
+
+def _check_view(frontier: Frontier, view: FrontierView, what: str) -> None:
+    if frontier.view is not view:
+        from repro.errors import FrontierError
+
+        raise FrontierError(f"{what} must be a {view.value} frontier, got {frontier.view.value}")
+
+
+def vertices_to_edges(
+    graph,
+    in_frontier: Frontier,
+    out_frontier: Frontier,
+    functor,
+    config: Optional[AdvanceConfig] = None,
+) -> Event:
+    """V2E advance: accepted out-edges of the active vertices.
+
+    The functor receives ``(src, dst, edge_id, weight)`` and returns the
+    mask of edges to activate in the output **edge** frontier.
+    """
+    queue = graph.queue
+    config = config or AdvanceConfig()
+    params = config.params or queue.inspect()
+    _check_view(in_frontier, FrontierView.VERTEX, "V2E input")
+    _check_view(out_frontier, FrontierView.EDGE, "V2E output")
+
+    active = in_frontier.active_elements()
+    src, dst, eid, w = graph.gather_neighbors(active)
+    if src.size:
+        mask = as_mask(functor(src, dst, eid, w), src.size, "advance")
+        accepted = eid[mask]
+    else:
+        accepted = np.empty(0, dtype=np.int64)
+    if accepted.size:
+        out_frontier.insert(accepted)
+
+    degrees = graph.out_degrees(active) if active.size else np.empty(0, np.int64)
+    spec = queue.device.spec
+    cap = spec.compute_units * spec.max_workgroups_per_cu
+    shape = characterize_bitmap_advance(
+        params,
+        max(1, -(-max(1, graph.get_vertex_count()) // params.bitmap_bits)),
+        active,
+        degrees,
+        active // params.bitmap_bits,
+        max_workgroups=cap,
+    )
+    wl = KernelWorkload(
+        name="advance.v2e",
+        geometry=shape.geometry,
+        active_lanes=shape.active_lanes,
+        instructions_per_lane=shape.instructions_per_lane,
+        serial_ops=shape.serial_ops,
+        engaged_subgroups=shape.engaged_subgroups,
+    )
+    if eid.size:
+        wl.add_stream(eid, 4, REGION_COL_IDX, label="col_idx")
+        wl.add_stream(dst, config.functor_read_bytes, REGION_USERDATA, label="functor.read")
+    if accepted.size and hasattr(out_frontier, "bits"):
+        words = accepted // out_frontier.bits
+        wl.add_stream(words, 8, REGION_FRONTIER_OUT, is_write=True, label="out.edges")
+        n_words = int(np.unique(words).size)
+        wl.atomics += n_words
+        wl.atomic_targets += n_words
+    return queue.submit(wl)
+
+
+def edges_to_vertices(
+    graph,
+    in_frontier: Frontier,
+    out_frontier: Frontier,
+    functor,
+    config: Optional[AdvanceConfig] = None,
+) -> Event:
+    """E2V advance: destinations of the active edges, filtered by functor."""
+    queue = graph.queue
+    config = config or AdvanceConfig()
+    _check_view(in_frontier, FrontierView.EDGE, "E2V input")
+    _check_view(out_frontier, FrontierView.VERTEX, "E2V output")
+
+    eids = in_frontier.active_elements()
+    if eids.size:
+        src, dst = graph.edge_endpoints(eids)
+        w = (
+            graph.weights[eids]
+            if graph.weights is not None
+            else np.ones(eids.size, dtype=np.float32)
+        )
+        mask = as_mask(functor(src, dst, eids, w), eids.size, "advance")
+        accepted = dst[mask]
+    else:
+        accepted = np.empty(0, dtype=np.int64)
+    if accepted.size:
+        out_frontier.insert(accepted)
+
+    spec = queue.device.spec
+    geom = Range(max(1, eids.size)).resolve(
+        spec.max_workgroup_size // 4, spec.preferred_subgroup_size
+    )
+    wl = KernelWorkload(
+        name="advance.e2v",
+        geometry=geom,
+        active_lanes=int(eids.size),
+        instructions_per_lane=10.0,  # row_ptr binary search per edge
+        serial_ops=float(eids.size) * np.log2(max(2, graph.get_vertex_count())),
+    )
+    if eids.size:
+        wl.add_stream(eids, 4, REGION_COL_IDX, label="col_idx")
+        wl.add_stream(eids // 64, 8, REGION_FRONTIER_IN, label="in.edges")
+        wl.add_stream(src, 4, REGION_ROW_PTR, label="row_ptr.search")
+    if accepted.size and hasattr(out_frontier, "bits"):
+        words = accepted // out_frontier.bits
+        wl.add_stream(words, 8, REGION_FRONTIER_OUT, is_write=True, label="out.bitmap")
+        n_words = int(np.unique(words).size)
+        wl.atomics += n_words
+        wl.atomic_targets += n_words
+    return queue.submit(wl)

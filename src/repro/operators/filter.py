@@ -1,0 +1,72 @@
+"""The *filter* primitive (paper Table 2).
+
+``filter.inplace(G, frontier, functor)`` drops elements failing the
+functor; ``filter.external(G, in, out, functor)`` copies passing elements
+into a second frontier.  Like compute, filter launches with a plain
+``range`` — one workitem per active element, no load-balancing machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontier.base import Frontier
+from repro.operators.advance import REGION_FRONTIER_IN, REGION_FRONTIER_OUT, REGION_USERDATA
+from repro.operators.functor import as_mask
+from repro.perfmodel.cost import KernelWorkload
+from repro.sycl.event import Event
+from repro.sycl.ndrange import Range
+
+
+def _filter_kernel(queue, name: str, ids: np.ndarray, dropped: np.ndarray) -> Event:
+    spec = queue.device.spec
+    geom = Range(max(1, ids.size)).resolve(
+        spec.max_workgroup_size // 4, spec.preferred_subgroup_size
+    )
+    wl = KernelWorkload(
+        name=name,
+        geometry=geom,
+        active_lanes=int(ids.size),
+        instructions_per_lane=6.0,
+    )
+    if ids.size:
+        wl.add_stream(ids, 8, REGION_USERDATA, label="filter.read")
+        wl.add_stream(ids // 64, 8, REGION_FRONTIER_IN, label="frontier.words")
+    if dropped.size:
+        wl.add_stream(dropped // 64, 8, REGION_FRONTIER_OUT, is_write=True, label="filter.write")
+        wl.atomics += int(dropped.size)
+        wl.atomic_targets += int(np.unique(dropped // 64).size)
+    return queue.submit(wl)
+
+
+def inplace(graph, frontier: Frontier, functor) -> Event:
+    """Remove elements for which ``functor(ids)`` is False (Table 2)."""
+    queue = graph.queue
+    ids = frontier.active_elements()
+    if ids.size:
+        keep = as_mask(functor(ids), ids.size, "filter")
+        dropped = ids[~keep]
+        if dropped.size:
+            frontier.remove(dropped)
+    else:
+        dropped = np.empty(0, dtype=np.int64)
+    return _filter_kernel(queue, "filter.inplace", ids, dropped)
+
+
+def external(graph, in_frontier: Frontier, out_frontier: Frontier, functor) -> Event:
+    """Copy elements passing ``functor`` from ``in`` into ``out`` (Table 2).
+
+    ``out`` is cleared first, matching the C++ semantics of producing a
+    fresh frontier.
+    """
+    queue = graph.queue
+    ids = in_frontier.active_elements()
+    out_frontier.clear()
+    if ids.size:
+        keep = as_mask(functor(ids), ids.size, "filter")
+        passed = ids[keep]
+        if passed.size:
+            out_frontier.insert(passed)
+    else:
+        passed = np.empty(0, dtype=np.int64)
+    return _filter_kernel(queue, "filter.external", ids, passed)

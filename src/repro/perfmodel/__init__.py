@@ -1,0 +1,29 @@
+"""Analytical GPU performance model.
+
+This package is the substitution for the paper's physical GPUs and NCU
+hardware counters (DESIGN.md §2).  Simulated kernels describe *what they
+did* — launch geometry, useful vs. idle lanes, the memory address streams
+they touched, atomic counts — as a :class:`~repro.perfmodel.cost.KernelWorkload`;
+the model turns that into a :class:`~repro.perfmodel.cost.KernelCost`
+(estimated nanoseconds, L1 hit rate, occupancy, DRAM traffic) against a
+:class:`~repro.sycl.device.DeviceSpec`.
+
+The model is deterministic and intentionally simple — a
+``max(compute, memory) + launch overhead`` roofline with a stack-distance
+cache approximation — because the paper's claims are *relative* (who wins,
+by what factor) and every framework is costed by the same rules.
+"""
+
+from repro.perfmodel.cache import CacheSim, estimate_cache_hits
+from repro.perfmodel.cost import AccessStream, CostModel, KernelCost, KernelWorkload
+from repro.perfmodel.metrics import achieved_occupancy
+
+__all__ = [
+    "CacheSim",
+    "estimate_cache_hits",
+    "AccessStream",
+    "CostModel",
+    "KernelCost",
+    "KernelWorkload",
+    "achieved_occupancy",
+]

@@ -1,0 +1,47 @@
+"""Simulated SYCL runtime layer.
+
+This subpackage stands in for the real SYCL 2020 runtime the paper builds
+on.  It provides the same concepts — backends, devices, queues, events,
+unified shared memory (USM), ``nd_range`` kernel geometry — implemented as a
+deterministic simulator: kernels execute for real (vectorized NumPy inside
+the operators), while the runtime *accounts* their cost against a per-device
+performance model (see :mod:`repro.perfmodel`).
+
+Substitution note (DESIGN.md §2): physical GPUs are replaced by
+:class:`~repro.sycl.device.Device` profiles for the three machines of the
+paper's Table 4 (NVIDIA V100S, Intel MAX 1100, AMD MI100).
+"""
+
+from repro.sycl.backend import Backend
+from repro.sycl.device import (
+    Device,
+    DeviceSpec,
+    amd_mi100,
+    get_device,
+    intel_max1100,
+    list_devices,
+    nvidia_v100s,
+)
+from repro.sycl.event import Event
+from repro.sycl.memory import Allocation, MemoryManager, UsmKind
+from repro.sycl.ndrange import NDRange, Range, WorkgroupGeometry
+from repro.sycl.queue import Queue
+
+__all__ = [
+    "Backend",
+    "Device",
+    "DeviceSpec",
+    "Event",
+    "Allocation",
+    "MemoryManager",
+    "UsmKind",
+    "NDRange",
+    "Range",
+    "WorkgroupGeometry",
+    "Queue",
+    "nvidia_v100s",
+    "intel_max1100",
+    "amd_mi100",
+    "get_device",
+    "list_devices",
+]

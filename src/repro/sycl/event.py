@@ -1,0 +1,39 @@
+"""SYCL events.
+
+Each primitive "returns an event for host-side waits" (paper Section 3.1).
+In the simulator an event is complete as soon as the kernel body has run;
+``wait()`` exists so algorithm code matches Listing 1 and so profiling info
+can be queried per submission, like SYCL's
+``event.get_profiling_info<command_end>()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.perfmodel.cost import KernelCost
+
+
+@dataclass
+class Event:
+    """Handle to one completed simulated kernel submission."""
+
+    kernel_name: str
+    seq: int
+    cost: Optional["KernelCost"] = None
+    _complete: bool = True
+
+    def wait(self) -> "Event":
+        """Block until the kernel completes (a no-op in the simulator)."""
+        self._complete = True
+        return self
+
+    @property
+    def is_complete(self) -> bool:
+        return self._complete
+
+    def profiling_ns(self) -> float:
+        """Simulated kernel duration in nanoseconds (0 if no cost model)."""
+        return 0.0 if self.cost is None else self.cost.time_ns

@@ -1,0 +1,180 @@
+"""Simulated USM memory manager.
+
+SYgraph allocates graphs and frontiers through SYCL unified shared memory
+(``malloc_shared``), with an opt-out to explicit device allocations on AMD
+(Section 3.3).  The :class:`MemoryManager` reproduces the observable
+behaviour the paper's evaluation depends on:
+
+* a running total of device-resident bytes with a **timeline** — the traces
+  behind Figure 9 (memory consumption during BFS);
+* a **capacity limit** (device VRAM) whose violation raises
+  :class:`~repro.errors.OutOfMemoryError` — the OOM entries of Table 6;
+* per-allocation bookkeeping (kind, label, live/freed) so tests can assert
+  leak-freedom.
+
+Allocations return real NumPy arrays; the simulation is in the accounting,
+not the data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError
+
+
+class UsmKind(enum.Enum):
+    """USM allocation kind (SYCL 2020 §4.8)."""
+
+    SHARED = "shared"   # malloc_shared: host+device accessible, migrated
+    DEVICE = "device"   # malloc_device: device-only, explicit copies
+    HOST = "host"       # malloc_host: pinned host memory
+
+
+@dataclass
+class Allocation:
+    """One live (or freed) USM allocation."""
+
+    alloc_id: int
+    nbytes: int
+    kind: UsmKind
+    label: str
+    array: Optional[np.ndarray]
+    live: bool = True
+
+
+@dataclass
+class MemoryEvent:
+    """A point on the device-memory timeline (for Figure 9 traces)."""
+
+    step: int
+    total_bytes: int
+    delta: int
+    label: str
+
+
+class MemoryManager:
+    """Tracks simulated device memory for one queue/device.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Simulated VRAM size.  ``None`` disables the limit (useful in unit
+        tests that are not about OOM behaviour).
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        self.capacity_bytes = capacity_bytes
+        self._allocs: Dict[int, Allocation] = {}
+        self._array_ids: Dict[int, int] = {}
+        self._next_id = 0
+        self._in_use = 0
+        self._peak = 0
+        self._step = 0
+        self.timeline: List[MemoryEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # allocation API                                                     #
+    # ------------------------------------------------------------------ #
+    def malloc(
+        self,
+        shape,
+        dtype,
+        kind: UsmKind = UsmKind.SHARED,
+        label: str = "",
+        fill=None,
+    ) -> np.ndarray:
+        """Allocate an array of ``shape``/``dtype`` on the device.
+
+        ``fill`` optionally initializes the buffer (``0`` is a memset).
+        Raises :class:`OutOfMemoryError` if the device capacity would be
+        exceeded; host allocations do not count against device capacity.
+        """
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if kind is not UsmKind.HOST:
+            self._charge(nbytes, label)
+        if fill is None:
+            arr = np.empty(shape, dtype)
+        elif fill == 0:
+            arr = np.zeros(shape, dtype)
+        else:
+            arr = np.full(shape, fill, dtype)
+        alloc = Allocation(self._next_id, nbytes, kind, label, arr)
+        self._allocs[self._next_id] = alloc
+        arr_id = self._next_id
+        self._next_id += 1
+        # Stash the id so free() can find the record from the array object.
+        self._array_ids[id(arr)] = arr_id
+        return arr
+
+    def malloc_shared(self, shape, dtype, label: str = "", fill=None) -> np.ndarray:
+        return self.malloc(shape, dtype, UsmKind.SHARED, label, fill)
+
+    def malloc_device(self, shape, dtype, label: str = "", fill=None) -> np.ndarray:
+        return self.malloc(shape, dtype, UsmKind.DEVICE, label, fill)
+
+    def malloc_host(self, shape, dtype, label: str = "", fill=None) -> np.ndarray:
+        return self.malloc(shape, dtype, UsmKind.HOST, label, fill)
+
+    def free(self, array: np.ndarray) -> None:
+        """Release an allocation previously returned by :meth:`malloc`."""
+        arr_id = self._array_ids.pop(id(array), None)
+        if arr_id is None:
+            raise KeyError("array was not allocated by this MemoryManager")
+        alloc = self._allocs[arr_id]
+        if not alloc.live:
+            raise KeyError("double free")
+        alloc.live = False
+        alloc.array = None
+        if alloc.kind is not UsmKind.HOST:
+            self._in_use -= alloc.nbytes
+            self._record(-alloc.nbytes, f"free:{alloc.label}")
+
+    # ------------------------------------------------------------------ #
+    # accounting                                                          #
+    # ------------------------------------------------------------------ #
+    def _charge(self, nbytes: int, label: str) -> None:
+        if self.capacity_bytes is not None and self._in_use + nbytes > self.capacity_bytes:
+            raise OutOfMemoryError(nbytes, self._in_use, self.capacity_bytes, label)
+        self._in_use += nbytes
+        self._peak = max(self._peak, self._in_use)
+        self._record(nbytes, f"alloc:{label}")
+
+    def _record(self, delta: int, label: str) -> None:
+        self.timeline.append(MemoryEvent(self._step, self._in_use, delta, label))
+        self._step += 1
+
+    def tick(self, label: str = "") -> None:
+        """Record a timeline sample without changing usage.
+
+        Benchmarks call this once per algorithm iteration so Figure 9's
+        memory-vs-time traces have samples even in steady state.
+        """
+        self._record(0, label or "tick")
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    @property
+    def live_allocations(self) -> List[Allocation]:
+        return [a for a in self._allocs.values() if a.live]
+
+    def usage_trace(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (step, total_bytes) arrays of the timeline for plotting."""
+        steps = np.array([e.step for e in self.timeline], dtype=np.int64)
+        totals = np.array([e.total_bytes for e in self.timeline], dtype=np.int64)
+        return steps, totals
+
+    def reset_timeline(self) -> None:
+        self.timeline.clear()
+        self._step = 0

@@ -1,0 +1,113 @@
+"""The SYCL queue: kernel submission and per-device state.
+
+"A queue in SYCL is used for submitting kernels and transferring data with
+its linked device.  Developers must specify the queue before allocating a
+graph or frontier object to select the offloading device." (paper §3.3)
+
+In the simulator a :class:`Queue` owns
+
+* the target :class:`~repro.sycl.device.Device`;
+* a :class:`~repro.sycl.memory.MemoryManager` sized to the device VRAM;
+* a :class:`~repro.perfmodel.cost.CostModel` that prices every submitted
+  kernel, accumulating the simulated timeline that benchmarks report.
+
+Operators call :meth:`Queue.submit` with a
+:class:`~repro.perfmodel.cost.KernelWorkload` *after* having computed the
+kernel's effect with vectorized NumPy; the queue returns an
+:class:`~repro.sycl.event.Event` carrying the kernel's cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sycl.device import Device, TunedParameters, nvidia_v100s
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.perfmodel.cost import KernelWorkload
+from repro.sycl.event import Event
+from repro.sycl.memory import MemoryManager
+from repro.sycl.profiling import ProfileLog
+
+
+class Queue:
+    """An in-order simulated SYCL queue.
+
+    Parameters
+    ----------
+    device:
+        Target device; defaults to the V100S profile (machine A).
+    enable_profiling:
+        When False, kernels are executed but not costed (unit tests that
+        only care about results run faster).
+    capacity_limit:
+        Override the simulated VRAM limit (None = use device spec;
+        ``0`` disables OOM checking entirely).
+    memory_mode:
+        ``"shared"`` (default) allocates graphs/frontiers in USM shared
+        memory; ``"device"`` models explicit device allocations + copies.
+        Paper §3.3: on AMD, Xnack-driven USM is suboptimal, so "developers
+        can choose between USM and explicit memory allocation at compile
+        time" — the device mode drops the backend's USM traffic penalty.
+    """
+
+    def __init__(
+        self,
+        device: Optional[Device] = None,
+        enable_profiling: bool = True,
+        capacity_limit: Optional[int] = None,
+        memory_mode: str = "shared",
+    ):
+        self.device = device or nvidia_v100s()
+        if capacity_limit == 0:
+            cap = None
+        elif capacity_limit is not None:
+            cap = capacity_limit
+        else:
+            cap = self.device.spec.vram_bytes
+        from repro.perfmodel.cost import CostModel  # deferred: import cycle
+
+        if memory_mode not in ("shared", "device"):
+            raise ValueError(f"memory_mode must be 'shared' or 'device', got {memory_mode!r}")
+        self.memory_mode = memory_mode
+        self.memory = MemoryManager(cap)
+        self.enable_profiling = enable_profiling
+        self.cost_model = CostModel(self.device, usm=(memory_mode == "shared"))
+        self.profile = ProfileLog()
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    def submit(self, workload: "KernelWorkload") -> Event:
+        """Account one kernel launch and return its completion event."""
+        cost = None
+        if self.enable_profiling:
+            cost = self.cost_model.charge(workload)
+            self.profile.record(cost)
+        ev = Event(kernel_name=workload.name, seq=self._seq, cost=cost)
+        self._seq += 1
+        return ev
+
+    def wait(self) -> None:
+        """Block until all submitted kernels complete (no-op: in-order sim)."""
+
+    # convenience passthroughs ------------------------------------------------
+    def malloc_shared(self, shape, dtype, label: str = "", fill=None):
+        return self.memory.malloc_shared(shape, dtype, label, fill)
+
+    def malloc_device(self, shape, dtype, label: str = "", fill=None):
+        return self.memory.malloc_device(shape, dtype, label, fill)
+
+    def free(self, array) -> None:
+        self.memory.free(array)
+
+    def inspect(self, **kwargs) -> TunedParameters:
+        """Run the device inspector for this queue's device."""
+        return self.device.inspect(**kwargs)
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Total simulated kernel time accumulated on this queue."""
+        return self.profile.total_ns
+
+    def reset_profile(self) -> None:
+        self.profile = ProfileLog()

@@ -1,0 +1,121 @@
+"""BFS correctness vs reference, across layouts, plus direction switching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, direction_optimizing_bfs
+from repro.algorithms.validation import reference_bfs
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.sycl import Queue
+
+LAYOUTS = ["bitmap", "2lb", "vector", "boolmap"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_matches_reference_random_graph(self, weighted_random, layout):
+        g, coo = weighted_random
+        result = bfs(g, 0, layout=layout)
+        ref = reference_bfs(coo.n_vertices, coo.src, coo.dst, 0)
+        assert np.array_equal(result.distances, ref)
+
+    def test_path_graph_depths(self, queue, builder):
+        g = builder.to_csr(gen.path_graph(10))
+        r = bfs(g, 0)
+        assert list(r.distances) == list(range(10))
+        # 9 productive levels + the terminal round that empties the frontier
+        assert r.iterations == 10
+
+    def test_unreachable_marked(self, queue):
+        g = from_edges(queue, [0], [1], n_vertices=4)
+        r = bfs(g, 0)
+        assert r.distances[2] == -1 and r.distances[3] == -1
+        assert r.visited == 2
+
+    def test_star_graph_one_level(self, queue, builder):
+        g = builder.to_csr(gen.star_graph(100))
+        r = bfs(g, 0)
+        assert r.iterations == 2  # one productive level + terminal round
+        assert (r.distances[1:] == 1).all()
+
+    def test_source_distance_zero(self, weighted_random):
+        g, _ = weighted_random
+        assert bfs(g, 5).distances[5] == 0
+
+    def test_invalid_source(self, diamond):
+        with pytest.raises(ValueError):
+            bfs(diamond, 99)
+
+    def test_max_iterations_cutoff(self, queue, builder):
+        g = builder.to_csr(gen.path_graph(50))
+        r = bfs(g, 0, max_iterations=3)
+        assert r.iterations == 3
+        assert (r.distances[4:] == -1).all()
+
+
+class TestDeviceIndependence:
+    @pytest.mark.parametrize("dev", ["v100s", "max1100", "mi100"])
+    def test_results_identical_on_all_devices(self, dev):
+        """Portability: same results on every backend (different cost only)."""
+        from repro.sycl import get_device
+
+        coo = gen.erdos_renyi(200, 4.0, seed=8)
+        q = Queue(get_device(dev), capacity_limit=0)
+        g = GraphBuilder(q).to_csr(coo)
+        r = bfs(g, 0)
+        ref = reference_bfs(coo.n_vertices, coo.src, coo.dst, 0)
+        assert np.array_equal(r.distances, ref)
+
+
+class TestDirectionOptimizing:
+    def test_matches_push_bfs(self, queue, builder):
+        coo = gen.preferential_attachment(500, 6, seed=21)
+        g = builder.to_csr(coo)
+        csc = builder.to_csc(coo)
+        r = direction_optimizing_bfs(g, csc, 0)
+        ref = reference_bfs(coo.n_vertices, coo.src, coo.dst, 0)
+        assert np.array_equal(r.distances, ref)
+
+    def test_pull_kernels_used_on_dense_graph(self, queue, builder):
+        coo = gen.preferential_attachment(500, 20, seed=22)
+        g = builder.to_csr(coo)
+        csc = builder.to_csc(coo)
+        direction_optimizing_bfs(g, csc, 0, alpha=20.0)
+        names = {c.name for c in queue.profile.costs}
+        assert "advance.frontier.pull" in names
+
+    def test_road_graph_mostly_push(self, queue, builder):
+        """Road graphs pull in far fewer iterations than dense scale-free
+        graphs (on tiny grids the alpha threshold can trip near the end)."""
+
+        def pull_fraction(coo):
+            q = Queue(capacity_limit=0)
+            b = GraphBuilder(q)
+            g, csc = b.to_csr(coo), b.to_csc(coo)
+            r = direction_optimizing_bfs(g, csc, 0)
+            pulls = sum(1 for c in q.profile.costs if c.name == "advance.frontier.pull")
+            return pulls / max(1, r.iterations)
+
+        road = pull_fraction(gen.road_network(40, 40, seed=23))
+        dense = pull_fraction(gen.preferential_attachment(1000, 20, seed=23))
+        assert road < 0.3
+        assert dense > road
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), min_size=1, max_size=150),
+    source=st.integers(0, 39),
+)
+def test_bfs_matches_reference_property(edges, source):
+    """BFS equals the reference on arbitrary digraphs from any source."""
+    queue = Queue(capacity_limit=0, enable_profiling=False)
+    src = np.array([e[0] for e in edges])
+    dst = np.array([e[1] for e in edges])
+    g = from_edges(queue, src, dst, n_vertices=40)
+    result = bfs(g, source)
+    ref = reference_bfs(40, src, dst, source)
+    assert np.array_equal(result.distances, ref)

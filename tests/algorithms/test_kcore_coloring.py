@@ -1,0 +1,122 @@
+"""k-core, Jones-Plassmann coloring, Luby MIS — extension algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.coloring import jones_plassmann, luby_mis
+from repro.algorithms.kcore import k_core
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.sycl import Queue
+
+
+def _undirected(queue, coo):
+    return GraphBuilder(queue).to_csr(coo.symmetrized().without_self_loops())
+
+
+def _nx_graph(coo):
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(coo.n_vertices))
+    g.add_edges_from(zip(map(int, coo.src), map(int, coo.dst)))
+    g.remove_edges_from(nx.selfloop_edges(g))
+    return g
+
+
+class TestKCore:
+    def test_matches_networkx(self, queue):
+        import networkx as nx
+
+        coo = gen.erdos_renyi(120, 4.0, seed=51)
+        g = _undirected(queue, coo)
+        result = k_core(g)
+        ref = nx.core_number(_nx_graph(coo))
+        assert np.array_equal(result.core_numbers, [ref[i] for i in range(120)])
+
+    def test_clique_core(self, queue, builder):
+        g = builder.to_csr(gen.complete_graph(6))
+        result = k_core(g)
+        assert (result.core_numbers == 5).all()
+        assert result.degeneracy == 5
+
+    def test_path_core(self, queue, builder):
+        g = builder.to_csr(gen.path_graph(10).symmetrized())
+        result = k_core(g)
+        assert (result.core_numbers == 1).all()
+
+    def test_isolated_vertices_core_zero(self, queue):
+        g = from_edges(queue, [0], [1], n_vertices=4, directed=False)
+        result = k_core(g)
+        assert result.core_numbers[2] == 0 and result.core_numbers[3] == 0
+
+    def test_core_extraction(self, queue):
+        # a triangle glued to a path: triangle is the 2-core
+        g = from_edges(queue, [0, 1, 2, 2], [1, 2, 0, 3], directed=False)
+        result = k_core(g)
+        assert sorted(result.core(2)) == [0, 1, 2]
+
+
+class TestColoring:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_proper_coloring(self, queue, seed):
+        coo = gen.erdos_renyi(150, 4.0, seed=52)
+        g = _undirected(queue, coo)
+        result = jones_plassmann(g, seed=seed)
+        assert result.is_proper(g)
+        assert (result.colors >= 0).all()
+
+    def test_color_count_bounded_by_degeneracy(self, queue):
+        """Greedy colorings use at most max_degree + 1 colors."""
+        coo = gen.erdos_renyi(100, 3.0, seed=53)
+        g = _undirected(queue, coo)
+        result = jones_plassmann(g)
+        assert result.n_colors <= int(g.out_degrees().max()) + 1
+
+    def test_bipartite_two_colors(self, queue):
+        # even cycle is 2-colorable; JP may use more but must be proper
+        g = _undirected(queue, gen.cycle_graph(10))
+        result = jones_plassmann(g)
+        assert result.is_proper(g)
+        assert result.n_colors <= 3
+
+    def test_clique_needs_n_colors(self, queue, builder):
+        g = builder.to_csr(gen.complete_graph(5))
+        result = jones_plassmann(g)
+        assert result.n_colors == 5
+        assert result.is_proper(g)
+
+
+class TestMIS:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_independent(self, queue, seed):
+        coo = gen.erdos_renyi(150, 4.0, seed=54)
+        g = _undirected(queue, coo)
+        result = luby_mis(g, seed=seed)
+        sym = coo.symmetrized().without_self_loops()
+        src, dst = sym.src.astype(np.int64), sym.dst.astype(np.int64)
+        # no edge inside the set
+        assert not (result.in_set[src] & result.in_set[dst]).any()
+
+    def test_maximal(self, queue):
+        coo = gen.erdos_renyi(120, 3.0, seed=55)
+        g = _undirected(queue, coo)
+        result = luby_mis(g)
+        sym = coo.symmetrized().without_self_loops()
+        # every vertex outside the set has a neighbor inside it
+        outside = np.nonzero(~result.in_set)[0]
+        has_in_neighbor = np.zeros(coo.n_vertices, dtype=bool)
+        sel = result.in_set[sym.src.astype(np.int64)]
+        has_in_neighbor[sym.dst.astype(np.int64)[sel]] = True
+        isolated = g.out_degrees() == 0
+        assert (has_in_neighbor[outside] | isolated[outside]).all()
+
+    def test_isolated_vertices_always_in_set(self, queue):
+        g = from_edges(queue, [0], [1], n_vertices=4, directed=False)
+        result = luby_mis(g)
+        assert result.in_set[2] and result.in_set[3]
+
+    def test_clique_yields_singleton(self, queue, builder):
+        g = builder.to_csr(gen.complete_graph(8))
+        result = luby_mis(g)
+        assert result.size == 1

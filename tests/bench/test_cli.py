@@ -1,0 +1,42 @@
+"""The `python -m repro` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig7", "fig8", "table5", "table6"):
+            assert name in out
+
+    def test_every_experiment_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table3", "table4", "table5", "table6", "fig7", "fig8", "fig9", "fig10",
+        }
+
+    def test_run_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla V100S" in out and "[table4:" in out
+
+    def test_run_with_scale_flag(self, capsys):
+        assert main(["table3", "--scale", "tiny"]) == 0
+        assert "scale=tiny" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        from repro.bench.experiments import table1_qualitative
+
+        out = table1_qualitative()
+        cells = {row[0]: row for row in out["rows"]}
+        assert cells["sygraph"][1] == "Heterogeneous"
+        assert cells["sygraph"][2:4] == ["No", "No"]
+        assert cells["tigr"][2:4] == ["Yes", "Yes"]

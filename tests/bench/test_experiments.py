@@ -1,0 +1,99 @@
+"""Smoke/shape tests for every table and figure generator (tiny scale)."""
+
+import pytest
+
+from repro.bench import experiments as E
+
+
+class TestStaticTables:
+    def test_table3(self):
+        out = E.table3_datasets(scale="tiny")
+        assert len(out["rows"]) == 7
+        assert "roadNet-CA" in out["text"]
+
+    def test_table4(self):
+        out = E.table4_hardware()
+        assert len(out["rows"]) == 3
+        assert "108MB" in out["text"]  # the MAX1100's L2
+
+
+class TestFig7:
+    def test_ablation_runs_all_configs(self):
+        out = E.fig7_ablation(scale="tiny")
+        assert set(out["times"]) == {"Base", "MSI", "CF", "2LB", "All"}
+
+    def test_all_fastest_on_realistic_scale(self):
+        out = E.fig7_ablation(scale="small")
+        times = out["times"]
+        assert times["All"] <= min(times["Base"], times["CF"]) * 1.05
+
+
+class TestTable5:
+    def test_metrics_for_all_frameworks(self):
+        out = E.table5_hw_metrics(datasets=["kron"], scale="tiny")
+        assert {r[0] for r in out["rows"]} == {"sygraph", "gunrock", "tigr", "sep"}
+
+    def test_sygraph_l1_highest_or_close(self):
+        out = E.table5_hw_metrics(datasets=["twitter"], scale="tiny")
+        rates = {fw: res["twitter"].peak_l1_hit_rate for fw, res in out["results"].items()}
+        assert rates["sygraph"] >= rates["gunrock"]
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return E.fig8_comparison(algorithms=["bfs"], datasets=["kron", "ca"], scale="tiny", n_sources=2)
+
+    def test_all_cells_present(self, fig8):
+        assert len(fig8["results"]) == 2 * 4  # datasets x frameworks
+
+    def test_medians_positive(self, fig8):
+        for m in fig8["results"]:
+            if m.times_ns:
+                assert m.median_ns > 0
+
+    def test_table6_from_fig8(self, fig8):
+        out = E.table6_speedups(fig8=fig8, scale="tiny")
+        assert out["rows"]
+        assert "gunrock" in out["geomeans"]
+        wpp, wop = out["geomeans"]["gunrock"]
+        assert wpp > 0 and wop > 0
+
+    def test_sep_cc_cells_empty(self):
+        fig8 = E.fig8_comparison(algorithms=["cc"], datasets=["kron"], scale="tiny", n_sources=1)
+        out = E.table6_speedups(fig8=fig8, scale="tiny")
+        sep_cc = [r for r in out["rows"] if r[0] == "sep" and r[1] == "cc"]
+        assert sep_cc and all(c == "-" for c in sep_cc[0][2:])
+
+
+class TestFig9:
+    def test_memory_traces(self):
+        out = E.fig9_memory(datasets=["kron"], scale="tiny")
+        traces = out["traces"]["kron"]
+        assert set(traces) == {"sygraph", "gunrock", "tigr", "sep"}
+        for series in traces.values():
+            assert series.size > 0
+
+    def test_tigr_heaviest(self):
+        out = E.fig9_memory(datasets=["ca"], scale="tiny")
+        totals = out["totals"]["ca"]
+        assert max(totals, key=totals.get) == "tigr"
+
+
+class TestFig10:
+    def test_portability_sweep(self):
+        out = E.fig10_portability(
+            algorithms=["bfs"], datasets=["kron"], devices=["v100s", "mi100"], scale="tiny", n_sources=1
+        )
+        assert ("bfs", "kron", "v100s") in out["medians"]
+        assert out["medians"][("bfs", "kron", "mi100")] > 0
+
+    def test_opencl_slower_than_level_zero(self):
+        out = E.fig10_portability(
+            algorithms=["bfs"],
+            datasets=["ca"],
+            devices=["max1100", "max1100-opencl"],
+            scale="tiny",
+            n_sources=1,
+        )
+        assert out["medians"][("bfs", "ca", "max1100-opencl")] >= out["medians"][("bfs", "ca", "max1100")]

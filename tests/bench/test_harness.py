@@ -1,0 +1,75 @@
+"""Measurement harness behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import MeasureResult, measure, pick_sources, run_sources
+from repro.bench.reporting import format_table, geomean
+from repro.baselines import make_runner
+from repro.graph.datasets import load_dataset
+
+
+class TestPickSources:
+    def test_deterministic(self):
+        assert pick_sources(100, 5) == pick_sources(100, 5)
+
+    def test_in_range(self):
+        assert all(0 <= s < 100 for s in pick_sources(100, 20))
+
+    def test_degree_filter_avoids_isolated(self):
+        degs = np.zeros(100, dtype=np.int64)
+        degs[[3, 7]] = 5
+        assert set(pick_sources(100, 10, out_degrees=degs)) <= {3, 7}
+
+    def test_degree_filter_all_isolated_falls_back(self):
+        assert len(pick_sources(100, 4, out_degrees=np.zeros(100))) == 4
+
+
+class TestRunSources:
+    def test_bfs_times_per_source(self):
+        runner = make_runner("sygraph", load_dataset("kron", "tiny"))
+        times = run_sources(runner, "bfs", [1, 2, 3])
+        assert len(times) == 3
+        assert all(t > 0 for t in times)
+
+    def test_unknown_algorithm(self):
+        runner = make_runner("sygraph", load_dataset("kron", "tiny"))
+        with pytest.raises(ValueError):
+            run_sources(runner, "kcore", [1])
+
+
+class TestMeasure:
+    def test_basic_shape(self):
+        m = measure("sygraph", "kron", "bfs", n_sources=2, scale="tiny")
+        assert len(m.times_ns) == 2
+        assert m.median_ns > 0
+        assert m.peak_bytes > 0
+        assert 0 < m.peak_l1_hit_rate <= 1
+
+    def test_unsupported_algorithm_empty(self):
+        m = measure("sep", "kron", "cc", n_sources=2, scale="tiny")
+        assert m.times_ns == []
+        assert m.median_ns == 0.0
+
+    def test_median_with_prep(self):
+        m = measure("tigr", "kron", "bfs", n_sources=1, scale="tiny")
+        assert m.median_with_prep_ns > m.median_ns
+
+
+class TestReporting:
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+        assert geomean([0, -1]) == 0.0
+
+    def test_format_table(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3]], title="T")
+        assert "T" in out and "2.50" in out and "x" in out
+
+
+class TestMeasureResult:
+    def test_stats(self):
+        m = MeasureResult("f", "d", "a", [1.0, 3.0, 2.0], 10.0, 0, 0, 0)
+        assert m.median_ns == 2.0
+        assert m.std_ns == pytest.approx(np.std([1, 2, 3]))
+        assert m.median_with_prep_ns == 12.0

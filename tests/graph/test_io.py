@@ -1,0 +1,120 @@
+"""Graph IO: edge lists, MatrixMarket, NPZ."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOGraph
+from repro.graph.io import (
+    load_npz,
+    read_edge_list,
+    read_matrix_market,
+    save_npz,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+class TestEdgeList:
+    def test_read_basic(self):
+        coo = read_edge_list(io.StringIO("0 1\n1 2\n"))
+        assert coo.n_edges == 2
+        assert coo.weights is None
+
+    def test_read_weighted(self):
+        coo = read_edge_list(io.StringIO("0 1 2.5\n1 2 0.5\n"))
+        assert list(coo.weights) == [2.5, 0.5]
+
+    def test_comments_skipped(self):
+        coo = read_edge_list(io.StringIO("# snap header\n% mm style\n0 1\n"))
+        assert coo.n_edges == 1
+
+    def test_blank_lines_skipped(self):
+        coo = read_edge_list(io.StringIO("0 1\n\n1 2\n"))
+        assert coo.n_edges == 2
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("42\n"))
+
+    def test_explicit_vertex_count(self):
+        coo = read_edge_list(io.StringIO("0 1\n"), n_vertices=100)
+        assert coo.n_vertices == 100
+
+    def test_empty_file(self):
+        coo = read_edge_list(io.StringIO(""))
+        assert coo.n_edges == 0
+
+    def test_roundtrip(self, tmp_path):
+        orig = COOGraph(5, [0, 1, 4], [1, 2, 0], weights=[1.0, 2.0, 3.0])
+        p = tmp_path / "g.txt"
+        write_edge_list(orig, p)
+        back = read_edge_list(p, n_vertices=5)
+        assert np.array_equal(back.src, orig.src)
+        assert np.array_equal(back.dst, orig.dst)
+        assert np.allclose(back.weights, orig.weights)
+
+
+class TestMatrixMarket:
+    def test_read_pattern_general(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n"
+        coo = read_matrix_market(io.StringIO(text))
+        assert list(coo.src) == [0, 1]  # 1-based -> 0-based
+        assert list(coo.dst) == [1, 2]
+
+    def test_read_real_weights(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n"
+        coo = read_matrix_market(io.StringIO(text))
+        assert list(coo.weights) == [3.5]
+
+    def test_symmetric_expanded(self):
+        text = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n1 2\n"
+        coo = read_matrix_market(io.StringIO(text))
+        pairs = set(zip(coo.src.tolist(), coo.dst.tolist()))
+        assert pairs == {(0, 1), (1, 0)}
+
+    def test_comment_lines_after_header(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n% a comment\n2 2 1\n1 2\n"
+        assert read_matrix_market(io.StringIO(text)).n_edges == 1
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO("1 1 0\n"))
+
+    def test_unsupported_field_rejected(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_wrong_count_rejected(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n"
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_roundtrip(self, tmp_path):
+        orig = COOGraph(4, [0, 3], [1, 2], weights=[0.5, 1.5])
+        p = tmp_path / "g.mtx"
+        write_matrix_market(orig, p)
+        back = read_matrix_market(p)
+        assert np.array_equal(back.src, orig.src)
+        assert np.array_equal(back.dst, orig.dst)
+        assert np.allclose(back.weights, orig.weights)
+
+
+class TestNPZ:
+    def test_roundtrip(self, tmp_path):
+        orig = COOGraph(5, [0, 1], [1, 2], weights=[9.0, 8.0])
+        p = tmp_path / "g.npz"
+        save_npz(orig, p)
+        back = load_npz(p)
+        assert back.n_vertices == 5
+        assert np.array_equal(back.src, orig.src)
+        assert np.allclose(back.weights, orig.weights)
+
+    def test_roundtrip_unweighted(self, tmp_path):
+        orig = COOGraph(3, [0], [2])
+        p = tmp_path / "g.npz"
+        save_npz(orig, p)
+        assert load_npz(p).weights is None

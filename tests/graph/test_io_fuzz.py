@@ -1,0 +1,65 @@
+"""Property-based IO round trips: any graph survives every format."""
+
+import io
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.coo import COOGraph
+from repro.graph.io import (
+    read_dimacs,
+    read_edge_list,
+    read_matrix_market,
+    write_dimacs,
+    write_edge_list,
+    write_matrix_market,
+)
+
+graphs = st.lists(
+    st.tuples(st.integers(0, 29), st.integers(0, 29), st.floats(0.25, 8.0)),
+    min_size=1,
+    max_size=60,
+).map(
+    lambda edges: COOGraph(
+        30,
+        np.array([e[0] for e in edges], dtype=np.int64),
+        np.array([e[1] for e in edges], dtype=np.int64),
+        np.array([round(e[2], 3) for e in edges], dtype=np.float32),
+    )
+)
+
+
+def _same(a: COOGraph, b: COOGraph, weights: bool = True) -> bool:
+    if not (np.array_equal(a.src, b.src) and np.array_equal(a.dst, b.dst)):
+        return False
+    return (not weights) or np.allclose(a.weights, b.weights, rtol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs)
+def test_edge_list_roundtrip(coo):
+    buf = io.StringIO()
+    write_edge_list(coo, buf)
+    buf.seek(0)
+    assert _same(read_edge_list(buf, n_vertices=30), coo)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs)
+def test_matrix_market_roundtrip(coo):
+    buf = io.StringIO()
+    write_matrix_market(coo, buf)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    assert _same(COOGraph(30, back.src, back.dst, back.weights), coo)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graphs)
+def test_dimacs_roundtrip(coo):
+    buf = io.StringIO()
+    write_dimacs(coo, buf)
+    buf.seek(0)
+    back = read_dimacs(buf)
+    assert _same(back, coo)

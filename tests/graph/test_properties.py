@@ -1,0 +1,56 @@
+"""Graph property computation (Table 3 statistics)."""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder
+from repro.graph.properties import GraphProperties, compute_properties
+
+
+class TestComputeProperties:
+    def test_basic_counts(self, queue, diamond):
+        p = compute_properties(diamond)
+        assert p.n_vertices == 5 and p.n_edges == 5
+        assert p.avg_degree == 1.0
+        assert p.max_degree == 2
+
+    def test_degree_skew(self, queue, builder):
+        p = compute_properties(builder.to_csr(gen.star_graph(101)))
+        assert p.max_degree == 100
+        assert p.degree_skew == pytest.approx(100 / (100 / 101))
+
+    def test_diameter_estimate_on_path(self, queue, builder):
+        g = builder.to_csr(gen.path_graph(30).symmetrized())
+        p = compute_properties(g, estimate_diameter=True)
+        assert p.approx_diameter == 29
+
+    def test_diameter_skipped_by_default(self, queue, diamond):
+        assert compute_properties(diamond).approx_diameter is None
+
+    def test_scale_free_heuristic(self, queue, builder):
+        road = compute_properties(builder.to_csr(gen.road_network(20, 20, seed=1)))
+        hub = compute_properties(builder.to_csr(gen.rmat(11, 16, seed=1)))
+        assert not road.is_scale_free_like
+        assert hub.is_scale_free_like
+
+    def test_as_row_renders(self, queue, diamond):
+        row = compute_properties(diamond).as_row()
+        assert "|V|=" in row and "diam~-" in row
+
+    def test_empty_graph(self, queue):
+        from repro.graph.builder import from_edges
+
+        p = compute_properties(from_edges(queue, [], [], n_vertices=0))
+        assert p.n_vertices == 0 and p.avg_degree == 0.0
+
+
+class TestTypes:
+    def test_bitmap_dtype(self):
+        import numpy as np
+
+        from repro.types import bitmap_dtype
+
+        assert bitmap_dtype(32) == np.dtype(np.uint32)
+        assert bitmap_dtype(64) == np.dtype(np.uint64)
+        with pytest.raises(ValueError):
+            bitmap_dtype(16)

@@ -1,0 +1,82 @@
+"""Failure injection: OOM behaviour under constrained VRAM.
+
+The paper's Table 6 shows frameworks dying with OOM on datasets whose
+structures exceed the V100S's 32 GB.  These tests drive the same failure
+path at small scale: a capacity-limited queue must raise a descriptive
+:class:`~repro.errors.OutOfMemoryError` instead of corrupting state, and
+freeing memory must make retries succeed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs
+from repro.errors import OutOfMemoryError
+from repro.frontier import make_frontier
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder
+from repro.sycl import Queue, get_device
+
+
+def _graph_bytes(coo) -> int:
+    """CSR footprint: row_ptr(4B*(n+1)) + col_idx(4B*m)."""
+    return 4 * (coo.n_vertices + 1) + 4 * coo.n_edges
+
+
+class TestGraphLoadOOM:
+    def test_graph_too_big_for_vram(self):
+        coo = gen.erdos_renyi(2000, 8.0, seed=81)
+        q = Queue(get_device("v100s"), capacity_limit=_graph_bytes(coo) // 2)
+        with pytest.raises(OutOfMemoryError) as ei:
+            GraphBuilder(q).to_csr(coo)
+        assert ei.value.capacity == _graph_bytes(coo) // 2
+
+    def test_error_names_the_buffer(self):
+        coo = gen.erdos_renyi(2000, 8.0, seed=81)
+        q = Queue(capacity_limit=_graph_bytes(coo) // 2)
+        with pytest.raises(OutOfMemoryError) as ei:
+            GraphBuilder(q).to_csr(coo)
+        assert "graph." in str(ei.value)
+
+    def test_partial_load_accounted(self):
+        """After a failed build, whatever was allocated is still tracked
+        (no silent leak of accounting)."""
+        coo = gen.erdos_renyi(2000, 8.0, seed=81)
+        cap = _graph_bytes(coo) - 100
+        q = Queue(capacity_limit=cap)
+        with pytest.raises(OutOfMemoryError):
+            GraphBuilder(q).to_csr(coo)
+        assert 0 < q.memory.bytes_in_use <= cap
+
+
+class TestRuntimeOOM:
+    def test_frontier_allocation_fails_cleanly(self):
+        coo = gen.erdos_renyi(500, 4.0, seed=82)
+        q = Queue(capacity_limit=_graph_bytes(coo) + 64)  # graph fits, frontier won't
+        g = GraphBuilder(q).to_csr(coo)
+        with pytest.raises(OutOfMemoryError):
+            bfs(g, 0)
+
+    def test_free_then_retry_succeeds(self):
+        coo = gen.erdos_renyi(300, 3.0, seed=83)
+        q = Queue(capacity_limit=int(2.5 * _graph_bytes(coo)))
+        g1 = GraphBuilder(q).to_csr(coo)
+        g2 = GraphBuilder(q).to_csr(coo)
+        with pytest.raises(OutOfMemoryError):
+            GraphBuilder(q).to_csr(coo)  # third copy does not fit
+        g2.free()
+        GraphBuilder(q).to_csr(coo)  # now it does
+
+    def test_vector_frontier_growth_hits_limit(self):
+        q = Queue(capacity_limit=16 * 1024)
+        f = make_frontier(q, 100_000, layout="vector", initial_capacity=64)
+        with pytest.raises(OutOfMemoryError):
+            # growth doubles until the reallocation no longer fits
+            for chunk in range(100):
+                f.insert(np.arange(1000))
+
+    def test_unlimited_queue_never_raises(self):
+        coo = gen.erdos_renyi(500, 4.0, seed=84)
+        q = Queue(capacity_limit=0)
+        g = GraphBuilder(q).to_csr(coo)
+        bfs(g, 0)  # no error

@@ -1,0 +1,88 @@
+"""Workgroup-mapped load balancing characterization (paper §4.2-4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.operators.load_balance import EDGE_OPS, characterize_bitmap_advance
+from repro.sycl.device import TunedParameters
+
+
+def params(bits=32, sg=32, wg=128, cf=8):
+    return TunedParameters(bitmap_bits=bits, subgroup_size=sg, workgroup_size=wg, coarsening_factor=cf)
+
+
+def shape_for(p, words, vertices, degrees, cap=2560):
+    vertices = np.asarray(vertices, dtype=np.int64)
+    degrees = np.asarray(degrees, dtype=np.int64)
+    position = vertices // p.bitmap_bits
+    return characterize_bitmap_advance(p, words, vertices, degrees, position, max_workgroups=cap)
+
+
+class TestGeometry:
+    def test_no_cf_one_workgroup_per_word(self):
+        s = shape_for(params(cf=1), words=100, vertices=[0], degrees=[1])
+        assert s.n_workgroups == 100
+
+    def test_cf_caps_at_persistent_grid(self):
+        s = shape_for(params(cf=8), words=10_000, vertices=[0], degrees=[1], cap=2560)
+        assert s.n_workgroups == 2560
+
+    def test_cf_small_grids_uncapped(self):
+        s = shape_for(params(cf=8), words=50, vertices=[0], degrees=[1])
+        assert s.n_workgroups == 50
+
+    def test_empty_frontier(self):
+        s = shape_for(params(), words=1, vertices=[], degrees=[])
+        assert s.edges == 0
+        assert s.serial_ops == 0.0
+
+
+class TestMsiPenalty:
+    def test_word_wider_than_subgroup_needs_passes(self):
+        """64-bit words on 32-lane subgroups: 2 scan passes (Fig 5b)."""
+        wide = shape_for(params(bits=64, cf=1), 10, [0], [5])
+        matched = shape_for(params(bits=32, cf=1), 10, [0], [5])
+        assert wide.instructions_per_lane == 2 * matched.instructions_per_lane
+
+    def test_msi_engagement_spreads_subgroups(self):
+        """With MSI, many active bits engage every subgroup; without, work
+        stays on the word's subgroup slices."""
+        vertices = np.arange(32)
+        degrees = np.full(32, 10)
+        msi = shape_for(params(bits=32, cf=1), 1, vertices, degrees)
+        no_msi = shape_for(params(bits=64, cf=1), 1, vertices, degrees)
+        assert msi.engaged_subgroups > no_msi.engaged_subgroups
+        assert msi.serial_ops < no_msi.serial_ops
+
+
+class TestEdgeAccounting:
+    def test_edge_ops_scale_with_degree(self):
+        light = shape_for(params(), 10, [0, 1], [1, 1])
+        heavy = shape_for(params(), 10, [0, 1], [1000, 1000])
+        assert heavy.serial_ops > 100 * light.serial_ops
+        assert heavy.edges == 2000
+
+    def test_imbalance_penalty(self):
+        """A hub concentrated in one workgroup costs more than spread work
+        of the same total size."""
+        p = params(cf=1)
+        # 4 words, all edges on word 0 vs evenly spread
+        hub = shape_for(p, 4, [0], [4000])
+        spread = shape_for(p, 4, [0, 32, 64, 96], [1000, 1000, 1000, 1000])
+        assert hub.max_wg_edges > spread.max_wg_edges
+        assert hub.serial_ops > spread.serial_ops
+
+    def test_lane_utilization_bounded(self):
+        s = shape_for(params(), 10, [0, 1, 2], [5, 5, 5])
+        assert 0.0 <= s.lane_utilization <= 1.0
+
+
+class TestMemoryParallelism:
+    def test_engagement_counts_working_subgroups(self):
+        dense = shape_for(params(bits=32, cf=1), 10, np.arange(320), np.ones(320))
+        sparse = shape_for(params(bits=32, cf=1), 10, [0], [1])
+        assert dense.engaged_subgroups > sparse.engaged_subgroups
+
+    def test_sparse_frontier_engages_few(self):
+        s = shape_for(params(bits=32, cf=1), 100, [0], [3])
+        assert s.engaged_subgroups == 1.0

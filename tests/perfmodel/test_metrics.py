@@ -1,0 +1,32 @@
+"""Occupancy metric."""
+
+from repro.perfmodel.metrics import RESOURCE_CEILING, achieved_occupancy
+from repro.sycl.device import V100S_SPEC
+from repro.sycl.ndrange import WorkgroupGeometry
+
+
+def _geom(wgs, wg_size=128):
+    return WorkgroupGeometry(global_size=wgs * wg_size, workgroup_size=wg_size, subgroup_size=32)
+
+
+class TestOccupancy:
+    def test_empty_launch(self):
+        assert achieved_occupancy(_geom(0), V100S_SPEC) == 0.0
+
+    def test_tiny_launch_low_occupancy(self):
+        assert achieved_occupancy(_geom(1), V100S_SPEC) < 0.01
+
+    def test_saturating_launch_hits_ceiling(self):
+        assert achieved_occupancy(_geom(100_000, 256), V100S_SPEC) == RESOURCE_CEILING
+
+    def test_monotone_in_workgroups(self):
+        prev = 0.0
+        for wgs in (1, 10, 100, 1000, 10000):
+            occ = achieved_occupancy(_geom(wgs), V100S_SPEC)
+            assert occ >= prev
+            prev = occ
+
+    def test_bounded(self):
+        for wgs in (1, 7, 80, 5000):
+            occ = achieved_occupancy(_geom(wgs), V100S_SPEC)
+            assert 0.0 < occ <= RESOURCE_CEILING

@@ -1,0 +1,108 @@
+"""Cross-cutting performance-model properties the figures depend on."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs
+from repro.frontier import make_frontier
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder
+from repro.graph.datasets import load_dataset
+from repro.operators import advance
+from repro.sycl import Queue, get_device
+
+
+def accept_all(s, d, e, w):
+    return np.ones(s.size, dtype=bool)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_costs(self):
+        """The whole simulation is deterministic — rerunning BFS gives the
+        same elapsed time to the nanosecond."""
+        times = []
+        for _ in range(2):
+            q = Queue(get_device("v100s"), capacity_limit=0)
+            g = GraphBuilder(q).to_csr(gen.rmat(10, 8, seed=96))
+            q.reset_profile()
+            bfs(g, 0)
+            times.append(q.elapsed_ns)
+        assert times[0] == times[1]
+
+    def test_kernel_sequence_deterministic(self):
+        seqs = []
+        for _ in range(2):
+            q = Queue(get_device("v100s"), capacity_limit=0)
+            g = GraphBuilder(q).to_csr(gen.rmat(9, 8, seed=97))
+            q.reset_profile()
+            bfs(g, 0)
+            seqs.append([c.name for c in q.profile.costs])
+        assert seqs[0] == seqs[1]
+
+
+class TestAdvanceScanAccounting:
+    """The 2LB must be charged for fewer scanned words than the flat
+    bitmap on a sparse frontier — the mechanism behind Figures 5a/7."""
+
+    def test_2lb_reads_fewer_frontier_words(self, queue):
+        g = GraphBuilder(queue).to_csr(gen.erdos_renyi(20_000, 2.0, seed=98))
+        n = g.get_vertex_count()
+
+        def scan_bytes(layout):
+            q = Queue(get_device("v100s"), capacity_limit=0)
+            g2 = GraphBuilder(q).to_csr(gen.erdos_renyi(20_000, 2.0, seed=98))
+            fin = make_frontier(q, n, layout=layout)
+            fin.insert([3])  # single active vertex: one nonzero word
+            q.reset_profile()
+            advance.frontier(g2, fin, None, accept_all)
+            adv = [c for c in q.profile.costs if c.name == "advance.frontier"][0]
+            return adv.l1.accesses
+
+        assert scan_bytes("2lb") < scan_bytes("bitmap")
+
+    def test_2lb_dispatches_fewer_workgroups(self):
+        q = Queue(get_device("v100s"), capacity_limit=0)
+        g = GraphBuilder(q).to_csr(gen.erdos_renyi(20_000, 2.0, seed=98))
+        n = g.get_vertex_count()
+        geoms = {}
+        for layout in ("2lb", "bitmap"):
+            fin = make_frontier(q, n, layout=layout)
+            fin.insert([3])
+            q.reset_profile()
+            advance.frontier(g, fin, None, accept_all)
+            adv = [c for c in q.profile.costs if c.name == "advance.frontier"][0]
+            geoms[layout] = adv.time_ns
+        assert geoms["2lb"] <= geoms["bitmap"]
+
+
+class TestScaleMonotonicity:
+    def test_time_grows_with_scale_profile(self):
+        """tiny < small simulated time for the same dataset + algorithm."""
+        out = {}
+        for scale in ("tiny", "small"):
+            q = Queue(get_device("v100s"), capacity_limit=0)
+            g = GraphBuilder(q).to_csr(load_dataset("kron", scale))
+            q.reset_profile()
+            bfs(g, 1)
+            out[scale] = q.elapsed_ns
+        assert out["small"] > out["tiny"]
+
+    def test_memory_grows_with_scale_profile(self):
+        out = {}
+        for scale in ("tiny", "small"):
+            q = Queue(get_device("v100s"), capacity_limit=0)
+            GraphBuilder(q).to_csr(load_dataset("kron", scale))
+            out[scale] = q.memory.bytes_in_use
+        assert out["small"] > out["tiny"]
+
+
+class TestCrossDeviceConsistency:
+    @pytest.mark.parametrize("dev", ["v100s", "max1100", "max1100-opencl", "mi100"])
+    def test_costs_positive_everywhere(self, dev):
+        q = Queue(get_device(dev), capacity_limit=0)
+        g = GraphBuilder(q).to_csr(gen.rmat(9, 8, seed=99))
+        q.reset_profile()
+        bfs(g, 0)
+        assert q.elapsed_ns > 0
+        for c in q.profile.costs:
+            assert np.isfinite(c.time_ns) and c.time_ns > 0

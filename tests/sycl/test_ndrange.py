@@ -1,0 +1,53 @@
+"""Launch geometry: range / nd_range resolution."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.sycl.ndrange import NDRange, Range, WorkgroupGeometry
+
+
+class TestRange:
+    def test_resolve_small(self):
+        g = Range(10).resolve(default_workgroup_size=256, subgroup_size=32)
+        assert g.global_size == 10
+        assert g.workgroup_size == 32  # rounded up to one subgroup
+
+    def test_resolve_large(self):
+        g = Range(100_000).resolve(256, 32)
+        assert g.workgroup_size == 256
+
+    def test_zero_size(self):
+        g = Range(0).resolve(256, 32)
+        assert g.num_workgroups == 0
+        assert g.total_lanes == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(KernelError):
+            Range(-1)
+
+
+class TestNDRange:
+    def test_explicit_shape(self):
+        g = NDRange(1024, 128).resolve(256, 32)
+        assert g.num_workgroups == 8
+        assert g.workgroup_size == 128
+
+    def test_global_must_divide_local(self):
+        with pytest.raises(KernelError):
+            NDRange(1000, 128)
+
+    def test_local_positive(self):
+        with pytest.raises(KernelError):
+            NDRange(0, 0)
+
+
+class TestGeometry:
+    def test_subgroup_counts(self):
+        g = WorkgroupGeometry(global_size=1024, workgroup_size=128, subgroup_size=32)
+        assert g.subgroups_per_workgroup == 4
+        assert g.num_subgroups == 32
+
+    def test_padding_to_full_workgroups(self):
+        g = WorkgroupGeometry(global_size=100, workgroup_size=64, subgroup_size=32)
+        assert g.num_workgroups == 2
+        assert g.total_lanes == 128  # padded

@@ -1,0 +1,44 @@
+"""Chrome-trace exporter."""
+
+import json
+
+import numpy as np
+
+from repro.algorithms import bfs
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder
+from repro.sycl.trace import export_chrome_trace, trace_events
+
+
+class TestTraceExport:
+    def test_events_cover_all_kernels(self, queue):
+        g = GraphBuilder(queue).to_csr(gen.erdos_renyi(100, 3.0, seed=61))
+        bfs(g, 0)
+        events = trace_events(queue)
+        assert len(events) == len(queue.profile.costs)
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_timeline_is_back_to_back(self, queue):
+        g = GraphBuilder(queue).to_csr(gen.erdos_renyi(100, 3.0, seed=61))
+        bfs(g, 0)
+        events = trace_events(queue)
+        for a, b in zip(events, events[1:]):
+            assert b["ts"] >= a["ts"]  # in-order queue
+
+    def test_args_carry_cost_breakdown(self, queue):
+        g = GraphBuilder(queue).to_csr(gen.erdos_renyi(100, 3.0, seed=61))
+        bfs(g, 0)
+        ev = trace_events(queue)[0]
+        assert {"compute_ns", "memory_ns", "dram_bytes", "l1_hit_rate"} <= set(ev["args"])
+
+    def test_file_roundtrip(self, queue, tmp_path):
+        g = GraphBuilder(queue).to_csr(gen.erdos_renyi(100, 3.0, seed=61))
+        bfs(g, 0)
+        out = export_chrome_trace(queue, tmp_path / "trace.json")
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["device"].startswith("Tesla")
+
+    def test_empty_queue(self, queue, tmp_path):
+        out = export_chrome_trace(queue, tmp_path / "empty.json")
+        assert json.loads(out.read_text())["traceEvents"] == []
