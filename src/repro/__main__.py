@@ -7,6 +7,8 @@ Usage::
     python -m repro fig7 [--scale small]
     python -m repro fig8 --sources 3
     python -m repro all
+    python -m repro check --quick          # differential-testing oracle
+    python -m repro check --strict --full  # + per-kernel invariant checks
 
 Environment: ``REPRO_SCALE`` and ``REPRO_SOURCES`` set the defaults.
 """
@@ -39,12 +41,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which table/figure to regenerate ('all' runs everything)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "check"],
+        help="which table/figure to regenerate ('all' runs everything; "
+        "'check' runs the differential-testing matrix)",
     )
     parser.add_argument("--scale", default=None, help="dataset scale: tiny | small | medium")
     parser.add_argument("--sources", type=int, default=None, help="sources per measurement (paper: 200)")
+    from repro.checking.cli import add_check_arguments, run_check
+
+    add_check_arguments(parser)
     args = parser.parse_args(argv)
+
+    if args.experiment == "check":
+        return run_check(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

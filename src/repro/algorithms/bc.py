@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.frontier import FrontierView, make_frontier, swap
+from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier
 from repro.operators import advance
 from repro.operators.advance import AdvanceConfig
 
@@ -42,10 +42,12 @@ def bc(
     layout: str = "2lb",
     config: Optional[AdvanceConfig] = None,
     normalize: bool = False,
+    bits: Optional[int] = None,
 ) -> BCResult:
     """Brandes BC accumulated over ``sources`` (default: single source 0).
 
     ``normalize=True`` divides by ``(n-1)(n-2)`` (directed convention).
+    ``bits`` overrides the bitmap word width for bitmap-family layouts.
     """
     n = graph.get_vertex_count()
     if sources is None:
@@ -53,7 +55,7 @@ def bc(
     scores = np.zeros(n, dtype=np.float64)
     total_iters = 0
     for s in sources:
-        delta, iters = _brandes_single(graph, int(s), layout, config)
+        delta, iters = _brandes_single(graph, int(s), layout, config, bits)
         scores += delta
         total_iters += iters
     if normalize and n > 2:
@@ -61,7 +63,13 @@ def bc(
     return BCResult(scores=scores, sources=[int(s) for s in sources], total_iterations=total_iters)
 
 
-def _brandes_single(graph, source: int, layout: str, config: Optional[AdvanceConfig]):
+def _brandes_single(
+    graph,
+    source: int,
+    layout: str,
+    config: Optional[AdvanceConfig],
+    bits: Optional[int] = None,
+):
     """One forward+backward Brandes sweep; returns (dependency, iters)."""
     queue = graph.queue
     n = graph.get_vertex_count()
@@ -74,8 +82,9 @@ def _brandes_single(graph, source: int, layout: str, config: Optional[AdvanceCon
     dist[source] = 0
     sigma[source] = 1.0
 
-    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
-    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    kwargs = layout_bits_kwargs(layout, bits)
+    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     in_frontier.insert(source)
 
     # ---- forward: level-synchronous BFS with sigma accumulation --------
@@ -95,10 +104,15 @@ def _brandes_single(graph, source: int, layout: str, config: Optional[AdvanceCon
             return tree
 
         advance.frontier(graph, in_frontier, out_frontier, fwd, config).wait()
-        level = out_frontier.active_elements()
+        # Sigma/delta accumulation is not idempotent, so BC (unlike BFS)
+        # cannot tolerate duplicate frontier entries: the vector layout
+        # admits one copy per tree edge, and re-expanding a vertex would
+        # double-count its paths.  Rebuild each level from unique ids.
+        level = np.unique(out_frontier.active_elements())
         if level.size:
             levels.append(level)
-        swap(in_frontier, out_frontier)
+        in_frontier.clear()
+        in_frontier.insert(level)
         out_frontier.clear()
         iteration += 1
 
@@ -106,7 +120,7 @@ def _brandes_single(graph, source: int, layout: str, config: Optional[AdvanceCon
     # Edges (u -> v) with dist[v] == dist[u] + 1 contribute to u's
     # dependency, so each pass advances from the level *above* the one
     # being settled (its predecessors) with a store-less advance.
-    prev_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    prev_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
 
     def back(src, dst, eid, w):
         tree = dist[dst] == dist[src] + 1

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.frontier import FrontierView, make_frontier, swap
+from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier, swap
 from repro.operators import advance, compute
 from repro.operators.advance import AdvanceConfig
 
@@ -45,19 +45,22 @@ def bfs(
     layout: str = "2lb",
     config: Optional[AdvanceConfig] = None,
     max_iterations: Optional[int] = None,
+    bits: Optional[int] = None,
 ) -> BFSResult:
     """Push-based BFS from ``source`` (paper Listing 1).
 
     ``layout`` picks the frontier data layout (``2lb`` is the paper's
     default; ``bitmap``/``vector``/``boolmap`` enable the ablations).
+    ``bits`` overrides the bitmap word width (32/64) for bitmap-family
+    layouts; None defers to ``config.params`` or the device inspector.
     """
     queue = graph.queue
     n = graph.get_vertex_count()
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
 
-    kwargs = {}
-    if config is not None and config.params is not None and layout in ("2lb", "bitmap"):
+    kwargs = layout_bits_kwargs(layout, bits)
+    if not kwargs and config is not None and config.params is not None and layout in ("2lb", "bitmap"):
         kwargs["bits"] = config.params.bitmap_bits
     in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)

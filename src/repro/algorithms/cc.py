@@ -21,7 +21,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.frontier import FrontierView, make_frontier, swap
+from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier, swap
 from repro.operators import advance, compute
 from repro.operators.advance import AdvanceConfig
 
@@ -47,15 +47,20 @@ def cc(
     config: Optional[AdvanceConfig] = None,
     shortcutting: bool = True,
     max_iterations: Optional[int] = None,
+    bits: Optional[int] = None,
 ) -> CCResult:
-    """Label-propagation connected components over an undirected CSR."""
+    """Label-propagation connected components over an undirected CSR.
+
+    ``bits`` overrides the bitmap word width for bitmap-family layouts.
+    """
     queue = graph.queue
     n = graph.get_vertex_count()
     labels = queue.malloc_shared((n,), np.int64, label="cc.labels")
     labels[:] = np.arange(n, dtype=np.int64)
 
-    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
-    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    kwargs = layout_bits_kwargs(layout, bits)
+    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     # initialization advance: all vertices distribute their labels
     advance.vertices(graph, out_frontier, _propagate_functor(labels), config).wait()
     swap(in_frontier, out_frontier)

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.frontier import FrontierView, make_frontier
+from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier
 from repro.operators import advance, compute
 from repro.operators.advance import AdvanceConfig
 
@@ -37,8 +37,16 @@ def pagerank(
     tol: float = 1e-6,
     max_iterations: int = 100,
     config: Optional[AdvanceConfig] = None,
+    layout: str = "bitmap",
+    bits: Optional[int] = None,
 ) -> PageRankResult:
-    """Power-iteration PageRank over the device CSR graph."""
+    """Power-iteration PageRank over the device CSR graph.
+
+    ``layout`` picks the frontier layout for the dense per-iteration
+    compute pass (any of the four layouts; the iteration itself is
+    frontier-shape-independent, which the differential harness exploits
+    to cross-check layouts).
+    """
     queue = graph.queue
     n = graph.get_vertex_count()
     if n == 0:
@@ -49,6 +57,11 @@ def pagerank(
     out_deg = graph.out_degrees().astype(np.float64)
     dangling = out_deg == 0
     inv_deg = np.where(dangling, 0.0, 1.0 / np.maximum(out_deg, 1.0))
+
+    all_frontier = make_frontier(
+        queue, n, FrontierView.VERTEX, layout=layout, **layout_bits_kwargs(layout, bits)
+    )
+    all_frontier.insert(np.arange(n, dtype=np.int64))
 
     residual = np.inf
     it = 0
@@ -67,8 +80,6 @@ def pagerank(
         def apply(ids):
             nxt[ids] = base + damping * nxt[ids]
 
-        all_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout="bitmap")
-        all_frontier.insert(np.arange(n, dtype=np.int64))
         compute.execute(graph, all_frontier, apply).wait()
 
         residual = float(np.abs(np.asarray(nxt) - np.asarray(ranks)).sum())

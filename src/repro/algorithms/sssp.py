@@ -14,7 +14,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.frontier import FrontierView, make_frontier, swap
+from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier, swap
 from repro.operators import advance
 from repro.operators.advance import AdvanceConfig
 
@@ -55,19 +55,22 @@ def sssp(
     layout: str = "2lb",
     config: Optional[AdvanceConfig] = None,
     max_iterations: Optional[int] = None,
+    bits: Optional[int] = None,
 ) -> SSSPResult:
     """Bellman-Ford SSSP from ``source``.
 
     The graph's edge weights are used when present; unweighted graphs get
-    unit weights (making this equivalent to BFS depths).
+    unit weights (making this equivalent to BFS depths).  ``bits``
+    overrides the bitmap word width for bitmap-family layouts.
     """
     queue = graph.queue
     n = graph.get_vertex_count()
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
 
-    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
-    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    kwargs = layout_bits_kwargs(layout, bits)
+    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     dist = queue.malloc_shared((n,), np.float64, label="sssp.dist", fill=np.inf)
     dist[source] = 0.0
     in_frontier.insert(source)

@@ -1,0 +1,48 @@
+"""Differential-testing oracle and runtime invariant checker.
+
+The paper's headline claim is that the Two-Layer Bitmap frontier produces
+*identical* algorithm results to vector/boolmap layouts with no
+duplicate-removal pass (§4.3).  This subpackage checks that claim — and
+every future optimisation against it — systematically:
+
+* :mod:`repro.checking.oracle` — dead-simple pure-Python reference
+  implementations of BFS, SSSP, CC, BC and PageRank.  They share **no
+  code** with :mod:`repro.algorithms` (no NumPy vectorization, no
+  frontiers, no operators), so a bug in the framework cannot hide in the
+  reference.
+* :mod:`repro.checking.differential` — a runner executing each algorithm
+  over the full matrix of frontier layouts × simulated backends × bitmap
+  word widths, diffing every result against the oracle and against the
+  other configurations, reporting first-divergence.
+* :mod:`repro.checking.invariants` — opt-in *strict mode*: per-kernel
+  frontier invariant validation, poisoning of freed USM allocations, and
+  canary guards that flag out-of-range writes into tracked buffers.
+* :mod:`repro.checking.graphgen` — seeded adversarial graph generators
+  (empty, self-loops, duplicate edges, star, chain, disconnected,
+  power-law) reused as pytest fixtures and by the differential CLI.
+
+Run the whole matrix in one command::
+
+    python -m repro check --quick
+"""
+
+from repro.checking.differential import (
+    BACKEND_DEVICES,
+    DifferentialReport,
+    Divergence,
+    RunConfig,
+    run_differential,
+)
+from repro.checking.graphgen import adversarial_suite
+from repro.checking.invariants import InvariantChecker, strict_mode
+
+__all__ = [
+    "BACKEND_DEVICES",
+    "DifferentialReport",
+    "Divergence",
+    "RunConfig",
+    "run_differential",
+    "adversarial_suite",
+    "InvariantChecker",
+    "strict_mode",
+]

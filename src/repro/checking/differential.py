@@ -1,0 +1,427 @@
+"""Differential runner: algorithms × frontier layouts × backends × widths.
+
+The paper claims all frontier layouts are *semantically interchangeable*
+(§4: the layout changes cost, never results).  This runner makes that an
+executable property: every algorithm runs over the full configuration
+matrix, every result is diffed against the pure-Python oracle **and**
+against the first configuration's result, and the first divergence is
+reported with its case, configuration pair, vertex, and — for BFS — the
+first superstep at which the two layouts' frontiers disagree.
+
+One command runs everything::
+
+    python -m repro check --quick
+
+Programmatic use::
+
+    report = run_differential()
+    assert report.ok, report.summary()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.checking import graphgen, oracle
+from repro.checking.invariants import strict_mode
+from repro.frontier import BITMAP_LAYOUTS
+from repro.graph.builder import GraphBuilder
+from repro.sycl import Queue, get_device
+
+#: backend name -> simulated device short name (repro.sycl.device registry).
+#: "hip" is the ROCm/HIP stack of the AMD machine (paper Table 4 machine C).
+BACKEND_DEVICES = {"cuda": "v100s", "level_zero": "max1100", "hip": "mi100"}
+
+#: the four frontier data layouts of paper §4
+LAYOUTS = ("2lb", "bitmap", "vector", "boolmap")
+
+#: algorithms with an oracle (paper §3.4 plus the PageRank extension)
+ALGORITHMS = ("bfs", "sssp", "cc", "bc", "pagerank")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One cell of the differential matrix."""
+
+    algorithm: str
+    layout: str
+    backend: str
+    bits: Optional[int] = None  # None = device inspector's choice
+
+    def describe(self) -> str:
+        width = f"/{self.bits}b" if self.bits else ""
+        return f"{self.algorithm}[{self.layout}{width}@{self.backend}]"
+
+
+@dataclass
+class Divergence:
+    """A result mismatch between one run and the oracle or another run."""
+
+    case: str
+    config: RunConfig
+    against: str  # "oracle" or the other RunConfig's describe()
+    vertex: int
+    expected: object
+    actual: object
+    #: for BFS layout pairs: first superstep whose frontiers differ
+    iteration: Optional[int] = None
+
+    def __str__(self) -> str:
+        it = f" (first divergent iteration: {self.iteration})" if self.iteration else ""
+        return (
+            f"{self.case}: {self.config.describe()} vs {self.against} "
+            f"@ vertex {self.vertex}: expected {self.expected!r}, "
+            f"got {self.actual!r}{it}"
+        )
+
+
+@dataclass
+class RunError:
+    """A configuration that crashed instead of producing a result."""
+
+    case: str
+    config: RunConfig
+    error: str
+
+    def __str__(self) -> str:
+        return f"{self.case}: {self.config.describe()} raised {self.error}"
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential sweep."""
+
+    n_runs: int = 0
+    n_comparisons: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+    errors: List[RunError] = field(default_factory=list)
+    algorithms: List[str] = field(default_factory=list)
+    layouts: List[str] = field(default_factory=list)
+    backends: List[str] = field(default_factory=list)
+    cases: List[str] = field(default_factory=list)
+    strict: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.errors
+
+    def summary(self, max_findings: int = 10) -> str:
+        lines = [
+            f"differential check: {self.n_runs} runs, {self.n_comparisons} comparisons"
+            + (" [strict mode]" if self.strict else ""),
+            f"  algorithms: {' '.join(self.algorithms)}",
+            f"  layouts:    {' '.join(self.layouts)}",
+            f"  backends:   {' '.join(self.backends)}",
+            f"  cases:      {' '.join(self.cases)}",
+        ]
+        if self.ok:
+            lines.append("PASS: all configurations agree with the oracle and each other")
+        else:
+            lines.append(
+                f"FAIL: {len(self.divergences)} divergence(s), {len(self.errors)} error(s)"
+            )
+            for d in self.divergences[:max_findings]:
+                lines.append(f"  DIVERGE  {d}")
+            for e in self.errors[:max_findings]:
+                lines.append(f"  ERROR    {e}")
+            hidden = len(self.divergences) + len(self.errors) - 2 * max_findings
+            if hidden > 0:
+                lines.append(f"  ... and more ({hidden} not shown)")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# oracle + comparison plumbing                                          #
+# --------------------------------------------------------------------- #
+def _canonical_labels(labels: np.ndarray) -> np.ndarray:
+    """Relabel each component with its smallest member id (representative-
+    independent comparison of CC labelings)."""
+    first: Dict[int, int] = {}
+    out = np.empty(labels.size, dtype=np.int64)
+    for v, lab in enumerate(labels):
+        rep = first.setdefault(int(lab), v)
+        out[v] = rep
+    return out
+
+
+def _oracle_result(case: graphgen.GraphCase, algorithm: str) -> np.ndarray:
+    coo, s = case.coo, case.source
+    n = coo.n_vertices
+    if algorithm == "bfs":
+        return oracle.oracle_bfs(n, coo.src, coo.dst, s)
+    if algorithm == "sssp":
+        return oracle.oracle_sssp(n, coo.src, coo.dst, coo.weights, s)
+    if algorithm == "cc":
+        return oracle.oracle_cc(n, coo.src, coo.dst)
+    if algorithm == "bc":
+        return oracle.oracle_bc(n, coo.src, coo.dst, [s])
+    if algorithm == "pagerank":
+        return oracle.oracle_pagerank(n, coo.src, coo.dst)
+    raise ValueError(f"no oracle for algorithm {algorithm!r}")
+
+
+def _run_framework(
+    csr, csr_undirected, case: graphgen.GraphCase, cfg: RunConfig
+) -> np.ndarray:
+    from repro.algorithms import bc, bfs, cc, pagerank, sssp
+
+    s = case.source
+    if cfg.algorithm == "bfs":
+        return bfs(csr, s, layout=cfg.layout, bits=cfg.bits).distances
+    if cfg.algorithm == "sssp":
+        return sssp(csr, s, layout=cfg.layout, bits=cfg.bits).distances
+    if cfg.algorithm == "cc":
+        return _canonical_labels(cc(csr_undirected, layout=cfg.layout, bits=cfg.bits).labels)
+    if cfg.algorithm == "bc":
+        return bc(csr, sources=[s], layout=cfg.layout, bits=cfg.bits).scores
+    if cfg.algorithm == "pagerank":
+        return pagerank(csr, layout=cfg.layout, bits=cfg.bits).ranks
+    raise ValueError(f"unknown algorithm {cfg.algorithm!r}")
+
+
+#: per-algorithm result comparators -> indices of mismatching vertices
+_COMPARATORS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "bfs": lambda a, b: np.nonzero(a != b)[0],
+    "cc": lambda a, b: np.nonzero(a != b)[0],
+    "sssp": lambda a, b: np.nonzero(
+        ~np.isclose(a, b, rtol=1e-9, atol=1e-12, equal_nan=True)
+    )[0],
+    "bc": lambda a, b: np.nonzero(~np.isclose(a, b, rtol=1e-6, atol=1e-9))[0],
+    "pagerank": lambda a, b: np.nonzero(~np.isclose(a, b, rtol=1e-6, atol=1e-9))[0],
+}
+
+
+def _first_mismatch(
+    algorithm: str, got: np.ndarray, want: np.ndarray
+) -> Optional[Tuple[int, object, object]]:
+    if got.shape != want.shape:
+        return (-1, f"shape {want.shape}", f"shape {got.shape}")
+    bad = _COMPARATORS[algorithm](got, want)
+    if bad.size == 0:
+        return None
+    v = int(bad[0])
+    return (v, want[v], got[v])
+
+
+# --------------------------------------------------------------------- #
+# BFS frontier tracing — first-divergence at superstep granularity      #
+# --------------------------------------------------------------------- #
+def bfs_frontier_trace(
+    graph, source: int, layout: str, bits: Optional[int] = None
+) -> List[np.ndarray]:
+    """Run Listing-1 BFS recording each superstep's discovered frontier.
+
+    Returns the list of sorted active-element arrays, one per iteration
+    (the out-frontier *after* each advance) — the ground truth two layouts
+    must agree on superstep by superstep.
+    """
+    from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier, swap
+    from repro.operators import advance, compute
+
+    queue = graph.queue
+    n = graph.get_vertex_count()
+    kwargs = layout_bits_kwargs(layout, bits)
+    fin = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    fout = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    dist = queue.malloc_shared((n,), np.int64, label="trace.dist", fill=-1)
+    dist[source] = 0
+    fin.insert(source)
+
+    trace: List[np.ndarray] = []
+    iteration = 0
+    while not fin.empty() and iteration <= n:
+        advance.frontier(graph, fin, fout, lambda s, d, e, w: dist[d] == -1).wait()
+        depth = iteration + 1
+        compute.execute(graph, fout, lambda ids: dist.__setitem__(ids, depth)).wait()
+        trace.append(np.asarray(fout.active_elements(), dtype=np.int64).copy())
+        swap(fin, fout)
+        fout.clear()
+        iteration += 1
+    queue.free(dist)
+    return trace
+
+
+def first_divergent_iteration(
+    graph, source: int, layout_a: str, layout_b: str, bits: Optional[int] = None
+) -> Optional[Tuple[int, int]]:
+    """(iteration, vertex) where two layouts' BFS frontiers first differ.
+
+    Iterations are 1-based supersteps.  Returns None when the traces are
+    identical.
+    """
+    ta = bfs_frontier_trace(graph, source, layout_a, bits)
+    tb = bfs_frontier_trace(graph, source, layout_b, bits)
+    for i in range(max(len(ta), len(tb))):
+        fa = ta[i] if i < len(ta) else np.empty(0, dtype=np.int64)
+        fb = tb[i] if i < len(tb) else np.empty(0, dtype=np.int64)
+        if not np.array_equal(fa, fb):
+            odd = np.setxor1d(fa, fb)
+            return (i + 1, int(odd[0]) if odd.size else -1)
+    return None
+
+
+# --------------------------------------------------------------------- #
+# the sweep                                                             #
+# --------------------------------------------------------------------- #
+def _widths_for(layout: str, widths: Sequence[Optional[int]]) -> Sequence[Optional[int]]:
+    """Word widths applicable to a layout (non-bitmap layouts have none)."""
+    if layout in BITMAP_LAYOUTS:
+        return tuple(dict.fromkeys(widths)) or (None,)
+    return (None,)
+
+
+def run_differential(
+    cases: Optional[Sequence[graphgen.GraphCase]] = None,
+    algorithms: Sequence[str] = ALGORITHMS,
+    layouts: Sequence[str] = LAYOUTS,
+    backends: Sequence[str] = tuple(BACKEND_DEVICES),
+    widths: Sequence[Optional[int]] = (None,),
+    strict: bool = False,
+    seed: int = 0,
+    scale: str = "quick",
+    progress: Optional[Callable[[str], None]] = None,
+) -> DifferentialReport:
+    """Sweep the full matrix and diff everything against everything.
+
+    Per (case, algorithm): the oracle result is computed once; each
+    (layout, backend, width) run is compared to the oracle and to the
+    matrix's first run of that case/algorithm (the cross-configuration
+    diff).  BFS layout-pair mismatches additionally get a frontier trace
+    to locate the first divergent superstep.
+
+    ``strict=True`` wraps every run in
+    :func:`repro.checking.invariants.strict_mode`, so frontier invariants
+    and memory guards are validated after every kernel of every run.
+    """
+    if cases is None:
+        cases = graphgen.adversarial_suite(seed=seed, scale=scale)
+    report = DifferentialReport(
+        algorithms=list(algorithms),
+        layouts=list(layouts),
+        backends=list(backends),
+        cases=[c.name for c in cases],
+        strict=strict,
+    )
+
+    for case in cases:
+        oracle_cache: Dict[str, np.ndarray] = {}
+        baselines: Dict[str, Tuple[RunConfig, np.ndarray]] = {}
+        for backend in backends:
+            queue = Queue(
+                get_device(BACKEND_DEVICES[backend]),
+                enable_profiling=False,
+                capacity_limit=0,
+            )
+            builder = GraphBuilder(queue)
+            csr = builder.to_csr(case.coo)
+            csr_undirected = builder.to_csr(case.coo.symmetrized())
+            for algorithm in algorithms:
+                if algorithm not in oracle_cache:
+                    oracle_cache[algorithm] = _oracle_result(case, algorithm)
+                want = oracle_cache[algorithm]
+                for layout in layouts:
+                    for bits in _widths_for(layout, widths):
+                        cfg = RunConfig(algorithm, layout, backend, bits)
+                        if progress:
+                            progress(f"{case.name}: {cfg.describe()}")
+                        try:
+                            if strict:
+                                with strict_mode(queue, guard=4):
+                                    got = _run_framework(csr, csr_undirected, case, cfg)
+                            else:
+                                got = _run_framework(csr, csr_undirected, case, cfg)
+                        except Exception as exc:  # noqa: BLE001 — report, don't abort the sweep
+                            report.errors.append(
+                                RunError(case.name, cfg, f"{type(exc).__name__}: {exc}")
+                            )
+                            continue
+                        report.n_runs += 1
+
+                        # diff 1: against the oracle
+                        report.n_comparisons += 1
+                        miss = _first_mismatch(algorithm, got, want)
+                        if miss is not None:
+                            report.divergences.append(
+                                Divergence(case.name, cfg, "oracle", *miss)
+                            )
+
+                        # diff 2: against the matrix's first run (cross-config)
+                        if algorithm not in baselines:
+                            baselines[algorithm] = (cfg, got)
+                        else:
+                            base_cfg, base = baselines[algorithm]
+                            report.n_comparisons += 1
+                            miss = _first_mismatch(algorithm, got, base)
+                            if miss is not None:
+                                iteration = None
+                                if algorithm == "bfs":
+                                    div = first_divergent_iteration(
+                                        csr, case.source, base_cfg.layout, cfg.layout, bits
+                                    )
+                                    if div is not None:
+                                        iteration = div[0]
+                                report.divergences.append(
+                                    Divergence(
+                                        case.name,
+                                        cfg,
+                                        base_cfg.describe(),
+                                        *miss,
+                                        iteration=iteration,
+                                    )
+                                )
+    return report
+
+
+# --------------------------------------------------------------------- #
+# deliberate breakage — proving the harness has teeth                   #
+# --------------------------------------------------------------------- #
+@contextmanager
+def inject_frontier_bug(layout_cls=None, drop_modulus: int = 5, drop_residue: int = 3):
+    """Deliberately break a frontier layout: ``insert`` silently drops
+    every element id with ``id % drop_modulus == drop_residue``.
+
+    Used by the mutation-smoke test and ``python -m repro check
+    --self-test`` to demonstrate the differential matrix *catches* a
+    frontier bug (a harness that can't fail is no oracle).
+    """
+    if layout_cls is None:
+        from repro.frontier.two_layer_bitmap import TwoLayerBitmapFrontier
+
+        layout_cls = TwoLayerBitmapFrontier
+    original = layout_cls.insert
+
+    def broken_insert(self, elements):
+        ids = np.atleast_1d(np.asarray(elements, dtype=np.int64))
+        original(self, ids[ids % drop_modulus != drop_residue])
+
+    layout_cls.insert = broken_insert
+    try:
+        yield
+    finally:
+        layout_cls.insert = original
+
+
+def self_test(seed: int = 0) -> Tuple[bool, str]:
+    """Verify the harness catches an injected frontier bug.
+
+    Runs a small BFS matrix with a sabotaged 2LB insert; returns
+    ``(caught, summary)`` where ``caught`` means the sweep reported the
+    divergence it must report.
+    """
+    cases = [c for c in graphgen.adversarial_suite(seed=seed) if c.name in ("chain", "star")]
+    with inject_frontier_bug():
+        report = run_differential(
+            cases=cases,
+            algorithms=("bfs",),
+            layouts=("2lb", "vector"),
+            backends=("cuda",),
+        )
+    caught = bool(report.divergences)
+    verdict = "harness caught the injected frontier bug" if caught else (
+        "SELF-TEST FAILURE: injected frontier bug was NOT detected"
+    )
+    return caught, f"{verdict}\n{report.summary(max_findings=3)}"

@@ -1,0 +1,171 @@
+"""Seeded adversarial graph generators for the differential harness.
+
+Each generator targets a frontier/traversal edge case that the paper's
+Table 3 workloads never stress:
+
+* :func:`empty_graph` — vertices, zero edges (frontier dies immediately);
+* :func:`single_vertex` — the 1-vertex graph (word 0, bit 0 only);
+* :func:`self_loop_graph` — self-loops must never re-admit a vertex;
+* :func:`duplicate_edge_graph` — parallel arcs: the vector layout
+  accumulates duplicates that bitmap layouts are immune to — the exact
+  behaviour the differential matrix exists to cross-check;
+* :func:`star` — one frontier word saturated by a single high-degree hub;
+* :func:`chain` — |V| iterations of single-bit frontiers (deep graphs);
+* :func:`disconnected` — permanently-zero bitmap regions (layer-2 skip);
+* :func:`power_law` — heavy-tailed degrees with a Zipf-ish sampler.
+
+All generators are deterministic given ``seed`` and return host-side
+:class:`~repro.graph.coo.COOGraph` objects.  :func:`adversarial_suite`
+bundles them as named cases for pytest fixtures and ``python -m repro
+check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.coo import COOGraph
+from repro.types import weight_t
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(0xBADC0DE if seed is None else seed)
+
+
+def _weighted(coo: COOGraph, rng: np.random.Generator) -> COOGraph:
+    coo.weights = rng.uniform(1.0, 10.0, size=coo.n_edges).astype(weight_t)
+    return coo
+
+
+def empty_graph(n: int = 8) -> COOGraph:
+    """``n`` isolated vertices, zero edges."""
+    z = np.empty(0, dtype=np.int64)
+    return COOGraph(n, z, z)
+
+
+def single_vertex() -> COOGraph:
+    """The smallest legal graph: one vertex, no edges."""
+    return empty_graph(1)
+
+
+def self_loop_graph(n: int = 12, seed: Optional[int] = None) -> COOGraph:
+    """A cycle through all vertices plus a self-loop on every third vertex."""
+    rng = _rng(seed)
+    v = np.arange(n, dtype=np.int64)
+    loops = v[::3]
+    src = np.concatenate([v, loops])
+    dst = np.concatenate([(v + 1) % n, loops])
+    extra = rng.integers(0, n, size=n // 2)
+    src = np.concatenate([src, extra])
+    dst = np.concatenate([dst, rng.integers(0, n, size=extra.size)])
+    return COOGraph(n, src, dst)
+
+
+def duplicate_edge_graph(n: int = 16, copies: int = 3, seed: Optional[int] = None) -> COOGraph:
+    """Random sparse graph with every arc repeated ``copies`` times.
+
+    Parallel arcs are *distinct* edges: they multiply BC path counts and
+    PageRank mass, and they are exactly what makes the vector frontier
+    accumulate duplicates while bitmap layouts stay duplicate-free.
+    """
+    rng = _rng(seed)
+    m = 2 * n
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    return COOGraph(n, np.tile(src, copies), np.tile(dst, copies))
+
+
+def star(n: int = 24, bidirectional: bool = True) -> COOGraph:
+    """Hub 0 pointing at spokes 1..n-1 (and back when ``bidirectional``)."""
+    hub = np.zeros(n - 1, dtype=np.int64)
+    spokes = np.arange(1, n, dtype=np.int64)
+    if bidirectional:
+        return COOGraph(n, np.concatenate([hub, spokes]), np.concatenate([spokes, hub]))
+    return COOGraph(n, hub, spokes)
+
+
+def chain(n: int = 32) -> COOGraph:
+    """Directed path 0 -> 1 -> ... -> n-1: one frontier bit per iteration."""
+    v = np.arange(n - 1, dtype=np.int64)
+    return COOGraph(n, v, v + 1)
+
+
+def disconnected(n_components: int = 3, component_size: int = 10, seed: Optional[int] = None) -> COOGraph:
+    """Several dense-ish components with no edges between them.
+
+    Components beyond the source's stay permanently zero in every frontier
+    bitmap — the region-skipping case the Two-Layer Bitmap exploits.
+    """
+    rng = _rng(seed)
+    n = n_components * component_size
+    srcs: List[np.ndarray] = []
+    dsts: List[np.ndarray] = []
+    for c in range(n_components):
+        base = c * component_size
+        ring = base + np.arange(component_size, dtype=np.int64)
+        srcs.append(ring)
+        dsts.append(base + (ring - base + 1) % component_size)
+        m = component_size
+        srcs.append(base + rng.integers(0, component_size, size=m))
+        dsts.append(base + rng.integers(0, component_size, size=m))
+    coo = COOGraph(n, np.concatenate(srcs), np.concatenate(dsts))
+    return coo.without_self_loops()
+
+
+def power_law(n: int = 48, avg_degree: float = 3.0, exponent: float = 2.0, seed: Optional[int] = None) -> COOGraph:
+    """Heavy-tailed random graph: endpoints drawn from a Zipf-ish law.
+
+    Vertex ``v`` is sampled with probability proportional to
+    ``(v + 1) ** -exponent``, concentrating edges on a few low-id hubs —
+    the degree skew that stresses load balancing.
+    """
+    rng = _rng(seed)
+    m = int(n * avg_degree)
+    p = (np.arange(1, n + 1, dtype=np.float64)) ** -exponent
+    p /= p.sum()
+    src = rng.choice(n, size=m, p=p)
+    dst = rng.integers(0, n, size=m)
+    return COOGraph(n, src.astype(np.int64), dst.astype(np.int64)).without_self_loops()
+
+
+# --------------------------------------------------------------------- #
+# the bundled suite                                                     #
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GraphCase:
+    """One named differential-test input."""
+
+    name: str
+    coo: COOGraph
+    source: int = 0
+
+
+def adversarial_suite(seed: int = 0, scale: str = "quick") -> List[GraphCase]:
+    """The named adversarial cases the differential runner sweeps.
+
+    ``scale="quick"`` keeps every graph tiny (n <= ~64) so the full
+    layout × backend matrix finishes in seconds; ``scale="full"`` grows
+    the random families by ~10x for a deeper nightly sweep.
+    """
+    big = scale == "full"
+    k = 10 if big else 1
+    rng = _rng(seed)
+    cases = [
+        GraphCase("empty", empty_graph(8)),
+        GraphCase("single-vertex", single_vertex()),
+        GraphCase("self-loops", self_loop_graph(12 * k, seed=seed)),
+        GraphCase("duplicate-edges", duplicate_edge_graph(16 * k, seed=seed + 1)),
+        GraphCase("star", star(24 * k)),
+        GraphCase("chain", chain(32 * k)),
+        GraphCase("disconnected", disconnected(3, 10 * k, seed=seed + 2)),
+        GraphCase("power-law", power_law(48 * k, seed=seed + 3)),
+    ]
+    # one weighted case so SSSP exercises non-unit weights
+    weighted = _weighted(power_law(40 * k, seed=seed + 4), rng)
+    cases.append(GraphCase("power-law-weighted", weighted))
+    return cases

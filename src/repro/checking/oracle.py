@@ -1,0 +1,194 @@
+"""Pure-Python reference algorithms — the differential-testing oracle.
+
+Every function here is the textbook formulation written with plain Python
+data structures (lists, dicts, ``heapq``, ``collections.deque``).  They
+deliberately share **no code** with :mod:`repro.algorithms` — no frontier
+objects, no operators, no vectorized NumPy — so the oracle and the
+framework cannot fail the same way.  NumPy appears only at the boundary,
+to accept/return arrays.
+
+Semantics intentionally match the framework's contracts:
+
+* parallel (duplicate) edges are distinct: they multiply shortest-path
+  counts in BC and contribute repeatedly to PageRank mass, exactly as the
+  per-edge advance functors in :mod:`repro.algorithms` treat them;
+* self-loops never relax a distance and never form a BFS/BC tree edge;
+* CC labels are canonical: every vertex is labelled with the smallest
+  vertex id of its (undirected) component — the fixpoint the framework's
+  min-label propagation converges to.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _edge_list(src, dst, weights=None) -> Tuple[list, list, list]:
+    """Coerce array-likes to plain Python lists (the oracle's only types)."""
+    s = [int(x) for x in np.asarray(src)]
+    d = [int(x) for x in np.asarray(dst)]
+    if weights is None:
+        w = [1.0] * len(s)
+    else:
+        w = [float(x) for x in np.asarray(weights)]
+    return s, d, w
+
+
+def _out_adjacency(n: int, src, dst, weights=None) -> List[list]:
+    """Multiset adjacency lists: adj[u] = [(v, w), ...] with duplicates kept."""
+    s, d, w = _edge_list(src, dst, weights)
+    adj: List[list] = [[] for _ in range(n)]
+    for u, v, wt in zip(s, d, w):
+        adj[u].append((v, wt))
+    return adj
+
+
+# --------------------------------------------------------------------- #
+# BFS                                                                   #
+# --------------------------------------------------------------------- #
+def oracle_bfs(n: int, src, dst, source: int) -> np.ndarray:
+    """BFS depths from ``source`` (-1 = unreachable), by queue traversal."""
+    adj = _out_adjacency(n, src, dst)
+    dist = [-1] * n
+    dist[source] = 0
+    q = deque([source])
+    while q:
+        u = q.popleft()
+        for v, _ in adj[u]:
+            if dist[v] == -1:
+                dist[v] = dist[u] + 1
+                q.append(v)
+    return np.array(dist, dtype=np.int64)
+
+
+# --------------------------------------------------------------------- #
+# SSSP                                                                  #
+# --------------------------------------------------------------------- #
+def oracle_sssp(n: int, src, dst, weights, source: int) -> np.ndarray:
+    """Dijkstra distances from ``source`` (inf = unreachable).
+
+    Weights are accumulated left-to-right along each path, like the
+    framework's per-edge ``dist[src] + w`` relaxation, so the floating
+    point results agree bit-for-bit on non-negative weights.
+    """
+    adj = _out_adjacency(n, src, dst, weights)
+    dist = [float("inf")] * n
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return np.array(dist, dtype=np.float64)
+
+
+# --------------------------------------------------------------------- #
+# Connected components                                                  #
+# --------------------------------------------------------------------- #
+def oracle_cc(n: int, src, dst) -> np.ndarray:
+    """Canonical component labels: min vertex id per undirected component."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    s, d, _ = _edge_list(src, dst)
+    for u, v in zip(s, d):
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[max(ru, rv)] = min(ru, rv)  # keep the smaller id as root
+    return np.array([find(v) for v in range(n)], dtype=np.int64)
+
+
+# --------------------------------------------------------------------- #
+# Betweenness centrality                                                #
+# --------------------------------------------------------------------- #
+def oracle_bc(n: int, src, dst, sources: Optional[Sequence[int]] = None) -> np.ndarray:
+    """Brandes betweenness accumulated over ``sources`` (default: [0]).
+
+    Unweighted, unnormalized, directed.  Parallel edges are distinct
+    shortest paths (each duplicate arc adds its own sigma/delta term),
+    matching the framework's per-edge accumulation.
+    """
+    adj = _out_adjacency(n, src, dst)
+    if sources is None:
+        sources = [0]
+    scores = [0.0] * n
+    for s in sources:
+        dist = [-1] * n
+        sigma = [0.0] * n
+        dist[s] = 0
+        sigma[s] = 1.0
+        order: List[int] = []
+        q = deque([s])
+        while q:
+            u = q.popleft()
+            order.append(u)
+            for v, _ in adj[u]:
+                if dist[v] == -1:
+                    dist[v] = dist[u] + 1
+                    q.append(v)
+                if dist[v] == dist[u] + 1:
+                    sigma[v] += sigma[u]
+        delta = [0.0] * n
+        for u in reversed(order):
+            for v, _ in adj[u]:
+                if dist[v] == dist[u] + 1 and sigma[v] > 0.0:
+                    delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v])
+        for v in range(n):
+            if v != s:
+                scores[v] += delta[v]
+    return np.array(scores, dtype=np.float64)
+
+
+# --------------------------------------------------------------------- #
+# PageRank                                                              #
+# --------------------------------------------------------------------- #
+def oracle_pagerank(
+    n: int,
+    src,
+    dst,
+    damping: float = 0.85,
+    tol: float = 1e-6,
+    max_iterations: int = 100,
+) -> np.ndarray:
+    """Power-iteration PageRank with dangling-mass redistribution.
+
+    Mirrors the framework's update rule and L1 stopping criterion (so the
+    two converge in the same number of iterations), computed with plain
+    Python floats.
+    """
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    s, d, _ = _edge_list(src, dst)
+    out_deg = [0] * n
+    for u in s:
+        out_deg[u] += 1
+    ranks = [1.0 / n] * n
+    residual = float("inf")
+    it = 0
+    while it < max_iterations and residual > tol:
+        nxt = [0.0] * n
+        for u, v in zip(s, d):
+            nxt[v] += ranks[u] / out_deg[u]
+        dangling_mass = sum(r for r, deg in zip(ranks, out_deg) if deg == 0)
+        base = (1.0 - damping) / n + damping * dangling_mass / n
+        nxt = [base + damping * x for x in nxt]
+        residual = sum(abs(a - b) for a, b in zip(nxt, ranks))
+        ranks = nxt
+        it += 1
+    return np.array(ranks, dtype=np.float64)

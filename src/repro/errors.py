@@ -39,3 +39,8 @@ class GraphFormatError(SYgraphError):
 
 class KernelError(SYgraphError):
     """Raised when a simulated kernel launch is misconfigured."""
+
+
+class InvariantViolation(SYgraphError):
+    """Raised by strict mode (:mod:`repro.checking.invariants`) when a
+    frontier invariant, buffer guard canary, or allocation rule is broken."""

@@ -19,7 +19,13 @@ so operators and algorithms are layout-agnostic, exactly like the C++
 framework's ``frontier_view_t`` templates.
 """
 
-from repro.frontier.base import Frontier, FrontierView, make_frontier
+from repro.frontier.base import (
+    BITMAP_LAYOUTS,
+    Frontier,
+    FrontierView,
+    layout_bits_kwargs,
+    make_frontier,
+)
 from repro.frontier.bitmap import BitmapFrontier
 from repro.frontier.boolmap import BoolmapFrontier
 from repro.frontier.multi_layer_bitmap import MultiLayerBitmapFrontier
@@ -33,8 +39,10 @@ from repro.frontier.two_layer_bitmap import TwoLayerBitmapFrontier
 from repro.frontier.vector import VectorFrontier
 
 __all__ = [
+    "BITMAP_LAYOUTS",
     "Frontier",
     "FrontierView",
+    "layout_bits_kwargs",
     "make_frontier",
     "BitmapFrontier",
     "MultiLayerBitmapFrontier",

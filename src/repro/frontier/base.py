@@ -41,6 +41,9 @@ class Frontier(abc.ABC):
         self.queue = queue
         self.n_elements = int(n_elements)
         self.view = view
+        checker = getattr(queue, "invariant_checker", None)
+        if checker is not None:
+            checker.register(self)
 
     # -- mutation ------------------------------------------------------- #
     @abc.abstractmethod
@@ -72,6 +75,15 @@ class Frontier(abc.ABC):
         """True when no element is active (Listing 1 line 8)."""
         return self.count() == 0
 
+    def check_invariant(self) -> bool:
+        """True iff the internal representation is self-consistent.
+
+        Every layout overrides this with its structural rules (layer
+        coherence, capacity bounds, id ranges); strict mode
+        (:mod:`repro.checking.invariants`) calls it after every kernel.
+        """
+        return True
+
     # -- memory --------------------------------------------------------- #
     @property
     @abc.abstractmethod
@@ -98,6 +110,22 @@ class Frontier(abc.ABC):
     def _as_ids(elements) -> np.ndarray:
         ids = np.atleast_1d(np.asarray(elements, dtype=np.int64))
         return ids
+
+
+#: layouts whose constructor accepts a ``bits`` word-width argument
+BITMAP_LAYOUTS = ("2lb", "bitmap", "tree")
+
+
+def layout_bits_kwargs(layout: str, bits) -> dict:
+    """``make_frontier`` kwargs carrying an explicit bitmap word width.
+
+    Returns ``{"bits": bits}`` for bitmap-family layouts and ``{}`` for
+    layouts without a word width (vector, boolmap) or when ``bits`` is
+    None — so algorithms can pass a width through uniformly.
+    """
+    if bits is not None and layout in BITMAP_LAYOUTS:
+        return {"bits": int(bits)}
+    return {}
 
 
 def make_frontier(

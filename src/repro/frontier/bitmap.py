@@ -86,6 +86,11 @@ class BitmapFrontier(Frontier):
         assert isinstance(other, BitmapFrontier)
         self.words, other.words = other.words, self.words
 
+    def check_invariant(self) -> bool:
+        """No bit set beyond ``n_elements`` (the tail of the last word)."""
+        ids = _bitops.expand_words(self.words, self.bits, self.n_words * self.bits)
+        return ids.size == 0 or int(ids.max()) < self.n_elements
+
     def _validated(self, elements) -> np.ndarray:
         ids = self._as_ids(elements)
         if ids.size and (ids.min() < 0 or ids.max() >= self.n_elements):

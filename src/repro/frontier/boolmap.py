@@ -57,3 +57,10 @@ class BoolmapFrontier(Frontier):
         self._check_swappable(other)
         assert isinstance(other, BoolmapFrontier)
         self.flags, other.flags = other.flags, self.flags
+
+    def check_invariant(self) -> bool:
+        """Flags are strictly 0/1 and padding bytes (n_elements=0) stay 0."""
+        if not bool((self.flags <= 1).all()):
+            return False
+        # the 1-byte minimum allocation for an empty frontier must stay clear
+        return self.n_elements > 0 or not bool(self.flags.any())

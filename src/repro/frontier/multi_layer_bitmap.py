@@ -169,7 +169,8 @@ class MultiLayerBitmapFrontier(Frontier):
         self._n_offsets, other._n_offsets = other._n_offsets, self._n_offsets
 
     def check_invariant(self) -> bool:
-        """Every layer-k bit == (layer-(k-1) word nonzero), all k."""
+        """Every layer-k bit == (layer-(k-1) word nonzero), all k; and no
+        element bit set beyond ``n_elements``."""
         below = self.layers[0]
         for layer in self.layers[1:]:
             expected = np.nonzero(below)[0]
@@ -177,7 +178,8 @@ class MultiLayerBitmapFrontier(Frontier):
             if not np.array_equal(np.asarray(expected, dtype=np.int64), flagged):
                 return False
             below = layer
-        return True
+        ids = _bitops.expand_words(self.layers[0], self.bits, self.n_words * self.bits)
+        return ids.size == 0 or int(ids.max()) < self.n_elements
 
     def _validated(self, elements) -> np.ndarray:
         ids = self._as_ids(elements)

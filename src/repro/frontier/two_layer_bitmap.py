@@ -106,8 +106,13 @@ class TwoLayerBitmapFrontier(Frontier):
         whose layer-2 bit is 0 are never touched.
         """
         candidates = _bitops.expand_words(self.words_l2, self.bits, self.n_words)
-        # Layer-2 bits are conservatively 1 (a remove may leave the bit set
-        # when other bits in the word survive); filter exact.
+        # Layer 2 is maintained *exactly*: remove() clears a word's layer-2
+        # bit the moment the word reaches zero, and check_invariant()
+        # enforces the exact match — so the candidates need no filtering in
+        # a correct state.  The filter below is defense-in-depth against
+        # direct writes into `words` that bypass insert()/remove(); it also
+        # means a stale-set layer-2 bit degrades to wasted work rather than
+        # phantom vertices.
         return candidates[self.words[candidates] != 0]
 
     # -- advance support -------------------------------------------------- #
@@ -142,12 +147,15 @@ class TwoLayerBitmapFrontier(Frontier):
         self._n_offsets, other._n_offsets = other._n_offsets, self._n_offsets
 
     def check_invariant(self) -> bool:
-        """Verify layer2_bit(i) == (word(i) != 0); used by property tests."""
+        """Verify layer2_bit(i) == (word(i) != 0) and no out-of-range bits."""
         expected = np.nonzero(self.words)[0]
         flagged = _bitops.expand_words(self.words_l2, self.bits, self.n_words)
         # remove() clears layer-2 bits eagerly when a word reaches zero, so
         # the two sets must match exactly.
-        return np.array_equal(np.asarray(expected, dtype=np.int64), flagged)
+        if not np.array_equal(np.asarray(expected, dtype=np.int64), flagged):
+            return False
+        ids = _bitops.expand_words(self.words, self.bits, self.n_words * self.bits)
+        return ids.size == 0 or int(ids.max()) < self.n_elements
 
     def _validated(self, elements) -> np.ndarray:
         ids = self._as_ids(elements)

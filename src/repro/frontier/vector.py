@@ -144,3 +144,12 @@ class VectorFrontier(Frontier):
         assert isinstance(other, VectorFrontier)
         self._data, other._data = other._data, self._data
         self._size, other._size = other._size, self._size
+
+    def check_invariant(self) -> bool:
+        """Size within capacity and every stored id within [0, n_elements)."""
+        if not (0 <= self._size <= self.capacity):
+            return False
+        if self._size == 0:
+            return True
+        live = self._data[: self._size].astype(np.int64)
+        return bool(live.min() >= 0 and live.max() < self.n_elements)

@@ -24,7 +24,26 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import OutOfMemoryError
+from repro.errors import InvariantViolation, OutOfMemoryError
+
+
+def _canary_value(dtype: np.dtype):
+    """A recognizable per-dtype guard value (survives a dtype round-trip)."""
+    if np.issubdtype(dtype, np.floating):
+        return dtype.type(-123456.0)
+    if dtype == np.bool_:
+        return dtype.type(True)
+    return dtype.type(0x5C % (int(np.iinfo(dtype).max) + 1))
+
+
+def _poison_value(dtype: np.dtype):
+    """A value that wrecks any computation still reading the buffer."""
+    if np.issubdtype(dtype, np.floating):
+        return dtype.type(np.nan)
+    if dtype == np.bool_:
+        return dtype.type(True)
+    info = np.iinfo(dtype)
+    return dtype.type(info.max if info.min == 0 else info.min // 2)
 
 
 class UsmKind(enum.Enum):
@@ -45,6 +64,10 @@ class Allocation:
     label: str
     array: Optional[np.ndarray]
     live: bool = True
+    #: strict mode only: the padded backing array whose first/last
+    #: ``guard`` elements hold canary values flanking the user view
+    guard_base: Optional[np.ndarray] = None
+    guard: int = 0
 
 
 @dataclass
@@ -76,6 +99,55 @@ class MemoryManager:
         self._peak = 0
         self._step = 0
         self.timeline: List[MemoryEvent] = []
+        # strict mode (repro.checking.invariants); both off by default so
+        # benchmark runs pay nothing
+        self._guard = 0
+        self.poison_on_free = False
+
+    # ------------------------------------------------------------------ #
+    # strict mode (opt-in; see repro.checking.invariants)                #
+    # ------------------------------------------------------------------ #
+    def enable_strict(self, guard: int = 8, poison: bool = True) -> None:
+        """Guard future allocations with canary padding and poison frees.
+
+        ``guard`` elements of canary value are placed before and after
+        every subsequent allocation; :meth:`check_canaries` (and every
+        :meth:`free`) verifies them, catching out-of-range writes into
+        tracked buffers.  ``poison`` overwrites buffers with NaN/extreme
+        values on free so use-after-free reads produce loudly wrong
+        results instead of silently stale ones.
+        """
+        self._guard = int(guard)
+        self.poison_on_free = poison
+
+    def disable_strict(self) -> None:
+        """Stop guarding new allocations (existing guards stay checked)."""
+        self._guard = 0
+        self.poison_on_free = False
+
+    def check_canaries(self) -> None:
+        """Verify the guard canaries of every live strict-mode allocation.
+
+        Raises :class:`~repro.errors.InvariantViolation` naming the
+        allocation and the violated side on the first corrupted guard.
+        """
+        for alloc in self._allocs.values():
+            if alloc.live and alloc.guard_base is not None:
+                self._check_one_canary(alloc)
+
+    def _check_one_canary(self, alloc: Allocation) -> None:
+        g, base = alloc.guard, alloc.guard_base
+        canary = _canary_value(base.dtype)
+        if (base[:g] != canary).any():
+            raise InvariantViolation(
+                f"buffer underflow: guard before {alloc.label or 'buffer'} "
+                f"(alloc #{alloc.alloc_id}) was overwritten"
+            )
+        if (base[-g:] != canary).any():
+            raise InvariantViolation(
+                f"buffer overflow: guard after {alloc.label or 'buffer'} "
+                f"(alloc #{alloc.alloc_id}) was overwritten"
+            )
 
     # ------------------------------------------------------------------ #
     # allocation API                                                     #
@@ -95,16 +167,31 @@ class MemoryManager:
         exceeded; host allocations do not count against device capacity.
         """
         dtype = np.dtype(dtype)
-        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        count = int(np.prod(shape, dtype=np.int64))
+        nbytes = count * dtype.itemsize
         if kind is not UsmKind.HOST:
             self._charge(nbytes, label)
-        if fill is None:
+        guard_base = None
+        if self._guard > 0:
+            # strict mode: pad with canary guards; the user sees only the
+            # middle view, so any out-of-range write lands on a canary
+            g = self._guard
+            guard_base = np.empty(count + 2 * g, dtype)
+            canary = _canary_value(dtype)
+            guard_base[:g] = canary
+            guard_base[-g:] = canary
+            arr = guard_base[g : g + count].reshape(shape)
+            if fill is not None:
+                arr[...] = fill
+        elif fill is None:
             arr = np.empty(shape, dtype)
         elif fill == 0:
             arr = np.zeros(shape, dtype)
         else:
             arr = np.full(shape, fill, dtype)
-        alloc = Allocation(self._next_id, nbytes, kind, label, arr)
+        alloc = Allocation(
+            self._next_id, nbytes, kind, label, arr, guard_base=guard_base, guard=self._guard
+        )
         self._allocs[self._next_id] = alloc
         arr_id = self._next_id
         self._next_id += 1
@@ -129,8 +216,13 @@ class MemoryManager:
         alloc = self._allocs[arr_id]
         if not alloc.live:
             raise KeyError("double free")
+        if alloc.guard_base is not None:
+            self._check_one_canary(alloc)
+        if self.poison_on_free and alloc.array is not None:
+            alloc.array[...] = _poison_value(alloc.array.dtype)
         alloc.live = False
         alloc.array = None
+        alloc.guard_base = None
         if alloc.kind is not UsmKind.HOST:
             self._in_use -= alloc.nbytes
             self._record(-alloc.nbytes, f"free:{alloc.label}")

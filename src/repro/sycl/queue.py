@@ -75,6 +75,9 @@ class Queue:
         self.cost_model = CostModel(self.device, usm=(memory_mode == "shared"))
         self.profile = ProfileLog()
         self._seq = 0
+        #: strict-mode hook (repro.checking.invariants); None by default so
+        #: submission pays a single is-None check when checking is off
+        self.invariant_checker = None
 
     # ------------------------------------------------------------------ #
     def submit(self, workload: "KernelWorkload") -> Event:
@@ -85,6 +88,8 @@ class Queue:
             self.profile.record(cost)
         ev = Event(kernel_name=workload.name, seq=self._seq, cost=cost)
         self._seq += 1
+        if self.invariant_checker is not None:
+            self.invariant_checker.after_kernel(self, workload)
         return ev
 
     def wait(self) -> None:

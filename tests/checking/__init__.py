@@ -1,0 +1,1 @@
+"""The differential-testing oracle, invariant checker, and graph generators."""

@@ -1,0 +1,17 @@
+"""Fixtures: the adversarial graph cases double as pytest parametrizations."""
+
+import pytest
+
+from repro.checking.graphgen import adversarial_suite
+
+_CASE_NAMES = [c.name for c in adversarial_suite()]
+
+
+@pytest.fixture(params=_CASE_NAMES)
+def graph_case(request):
+    """One adversarial :class:`GraphCase` per parametrized test instance.
+
+    Regenerated per test (seeded, so identical) to keep cases isolated
+    from any in-place mutation.
+    """
+    return next(c for c in adversarial_suite() if c.name == request.param)

@@ -1,0 +1,125 @@
+"""Adversarial graph generators: shape properties + seeded determinism
+(including across interpreter runs, via subprocess)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.checking import graphgen, oracle
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestGeneratorShapes:
+    def test_empty(self):
+        g = graphgen.empty_graph(8)
+        assert g.n_vertices == 8 and g.n_edges == 0
+
+    def test_single_vertex(self):
+        g = graphgen.single_vertex()
+        assert g.n_vertices == 1 and g.n_edges == 0
+
+    def test_self_loops_present(self):
+        g = graphgen.self_loop_graph(12, seed=0)
+        assert (g.src == g.dst).any()
+
+    def test_duplicate_edges_present(self):
+        g = graphgen.duplicate_edge_graph(16, copies=3, seed=0)
+        key = g.src * g.n_vertices + g.dst
+        _, counts = np.unique(key, return_counts=True)
+        assert counts.max() >= 3
+        assert not (g.src == g.dst).any()  # duplicates, not self-loops
+
+    def test_star_degrees(self):
+        g = graphgen.star(24)
+        assert (g.src == 0).sum() == 23 and (g.dst == 0).sum() == 23
+
+    def test_chain_is_a_path(self):
+        g = graphgen.chain(32)
+        assert g.n_edges == 31
+        assert list(oracle.oracle_bfs(32, g.src, g.dst, 0)) == list(range(32))
+
+    def test_disconnected_component_count(self):
+        g = graphgen.disconnected(3, 10, seed=0)
+        labels = oracle.oracle_cc(g.n_vertices, g.src, g.dst)
+        assert np.unique(labels).size == 3
+
+    def test_power_law_degree_skew(self):
+        g = graphgen.power_law(48, seed=0)
+        deg = np.bincount(g.src, minlength=48)
+        # hubs at low ids: the top vertex beats the median by a wide margin
+        assert deg.max() >= 4 * max(1, int(np.median(deg)))
+
+
+class TestSuite:
+    def test_names_and_sources_valid(self, graph_case):
+        assert graph_case.coo.n_vertices >= 1
+        assert 0 <= graph_case.source < graph_case.coo.n_vertices
+
+    def test_quick_suite_is_small(self):
+        for case in graphgen.adversarial_suite():
+            assert case.coo.n_vertices <= 64
+
+    def test_full_scale_is_larger(self):
+        quick = {c.name: c.coo.n_vertices for c in graphgen.adversarial_suite()}
+        full = {c.name: c.coo.n_vertices for c in graphgen.adversarial_suite(scale="full")}
+        assert full["chain"] == 10 * quick["chain"]
+        assert full["power-law"] > quick["power-law"]
+
+    def test_exactly_one_weighted_case(self):
+        weighted = [c.name for c in graphgen.adversarial_suite() if c.coo.weights is not None]
+        assert weighted == ["power-law-weighted"]
+
+
+_DETERMINISM_SNIPPET = """\
+import numpy as np, sys
+from repro.checking.graphgen import adversarial_suite
+from repro.graph import generators as gen
+
+acc = 0
+for case in adversarial_suite(seed=5):
+    acc = (acc * 1000003 + int(case.coo.src.sum()) + int(case.coo.dst.sum())) % (2**61)
+er = gen.erdos_renyi(100, 4.0, seed=5, weighted=True)
+acc = (acc * 1000003 + int(er.src.sum()) + int(np.round(er.weights.sum() * 1e6))) % (2**61)
+rmat = gen.rmat(7, 8, seed=5)
+acc = (acc * 1000003 + int(rmat.src.sum()) + int(rmat.dst.sum())) % (2**61)
+print(acc)
+"""
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_graphs_in_process(self):
+        a = graphgen.adversarial_suite(seed=3)
+        b = graphgen.adversarial_suite(seed=3)
+        for ca, cb in zip(a, b):
+            assert np.array_equal(ca.coo.src, cb.coo.src)
+            assert np.array_equal(ca.coo.dst, cb.coo.dst)
+
+    def test_different_seed_different_graphs(self):
+        a = graphgen.adversarial_suite(seed=3)
+        b = graphgen.adversarial_suite(seed=4)
+        assert any(
+            not np.array_equal(ca.coo.src, cb.coo.src)
+            for ca, cb in zip(a, b)
+            if ca.coo.n_edges and cb.coo.n_edges
+        )
+
+    def test_determinism_across_interpreters(self):
+        """Fresh interpreters (fresh hash seeds, fresh RNG state) must
+        produce bit-identical graphs for both generator modules."""
+        def run():
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            env["PYTHONHASHSEED"] = "random"
+            out = subprocess.run(
+                [sys.executable, "-c", _DETERMINISM_SNIPPET],
+                capture_output=True, text=True, env=env, cwd=REPO_ROOT, check=True,
+            )
+            return out.stdout.strip()
+
+        first, second = run(), run()
+        assert first == second != ""

@@ -48,6 +48,31 @@ class TestLayer2Maintenance:
         assert (np.asarray(f2lb.words_l2) == 0).all()
 
 
+class TestRemoveThenScan:
+    def test_emptied_word_skipped_by_scan(self, f2lb):
+        """Regression: ``remove()`` clears layer-2 eagerly when a word
+        empties, so a subsequent scan must skip that word entirely (an old
+        comment wrongly claimed layer-2 bits were left 'conservatively 1')."""
+        bits = f2lb.bits
+        f2lb.insert([0, 1, 2, 40 * bits])
+        f2lb.remove([0, 1, 2])  # word 0 is now all-zero
+        assert list(f2lb.nonzero_words()) == [40]
+        assert list(f2lb.compute_offsets()) == [40]
+        # the layer-2 bit for word 0 must be cleared, not conservatively set
+        assert not (int(np.asarray(f2lb.words_l2)[0]) & 1)
+        assert sorted(f2lb.active_elements()) == [40 * bits]
+        assert f2lb.check_invariant()
+
+    def test_remove_everything_then_scan(self, f2lb):
+        ids = np.arange(0, 2000, 7)
+        f2lb.insert(ids)
+        f2lb.remove(ids)
+        assert f2lb.empty()
+        assert f2lb.nonzero_words().size == 0
+        assert f2lb.compute_offsets().size == 0
+        assert (np.asarray(f2lb.words_l2) == 0).all()
+
+
 class TestOffsets:
     def test_compute_offsets_lists_nonzero_words(self, f2lb):
         f2lb.insert([0, 40, 5000])
