@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""Trajectory benchmark: host wall-time of the frontier hot path.
+
+Runs BFS / SSSP / CC over seeded :mod:`repro.checking.graphgen` graphs
+across frontier layouts, twice per case:
+
+* **memo on** — the current single-scan hot path (epoch-memoized frontier
+  scans, swap cache-transfer, primed inserts);
+* **memo off** — the pre-memoization baseline, restored in-process via
+  :func:`repro.frontier.base.scan_memoization`, where every
+  ``count``/``active_elements``/``compute_offsets`` call rescans the
+  backing storage.
+
+Both modes produce *identical results and identical modeled kernel time*
+(the cost model sees the same kernels and streams either way) — the only
+thing that moves is host wall-time.  The harness verifies both: result
+digests must match and modeled ns must be equal, else the entry is
+flagged ``modeled_unchanged: false`` and the process exits nonzero.
+
+Timings interleave the two modes and keep the best of ``--repeats``
+passes to shave scheduler noise; everything is seeded, so reruns measure
+the same work.
+
+Output: ``BENCH_pr3.json`` at the repo root (override with ``--output``),
+including a ``hot_loop`` aggregate for the BFS/2lb chain case whose
+``speedup`` field is the PR's headline number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms.bfs import bfs
+from repro.algorithms.cc import cc
+from repro.algorithms.sssp import sssp
+from repro.checking import graphgen
+from repro.frontier.base import scan_memoization
+from repro.graph.builder import GraphBuilder
+from repro.graph.coo import COOGraph
+from repro.sycl.device import get_device
+from repro.sycl.queue import Queue
+
+#: the aggregate the PR's acceptance criterion reads
+HOT_LOOP_ALGORITHM = "bfs"
+HOT_LOOP_LAYOUT = "2lb"
+HOT_LOOP_GRAPH = "chain"
+
+LAYOUTS = ("2lb", "bitmap", "vector", "boolmap")
+ALGORITHMS = ("bfs", "sssp", "cc")
+
+
+def chain_graph(n: int) -> COOGraph:
+    """Bidirectional path graph: the deepest trajectory per vertex.
+
+    One frontier vertex per iteration for ~n iterations — the worst case
+    for per-iteration rescans and therefore the hot-loop showcase.
+    """
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    return COOGraph(n, np.concatenate([src, dst]), np.concatenate([dst, src]))
+
+
+def make_cases(quick: bool, seed: int):
+    chain_n = 2000 if quick else 5000
+    pl_n = 1500 if quick else 4000
+    return [
+        ("chain", chain_graph(chain_n)),
+        ("power_law", graphgen.power_law(n=pl_n, avg_degree=6.0, seed=seed)),
+        ("disconnected", graphgen.disconnected(8, (pl_n // 8) if quick else 512, seed=seed)),
+    ]
+
+
+def run_algorithm(algorithm: str, graph, graph_und, layout: str):
+    if algorithm == "bfs":
+        return bfs(graph, 0, layout=layout)
+    if algorithm == "sssp":
+        return sssp(graph, 0, layout=layout)
+    if algorithm == "cc":
+        return cc(graph_und, layout=layout)
+    raise ValueError(algorithm)
+
+
+def result_digest(algorithm: str, result) -> str:
+    if algorithm in ("bfs", "sssp"):
+        arr = np.asarray(result.distances, dtype=np.float64)
+    else:
+        arr = np.asarray(result.labels, dtype=np.float64)
+    arr = np.where(np.isfinite(arr), arr, -1.0)
+    return f"{arr.size}:{float(arr.sum()):.6g}:{float((arr * np.arange(1, arr.size + 1)).sum()):.6g}"
+
+
+def modeled_ns(algorithm: str, coo, coo_und, layout: str, memo: bool) -> int:
+    """Modeled kernel time from a fresh *profiling* queue."""
+    q = Queue(get_device("v100s"), enable_profiling=True, capacity_limit=0)
+    b = GraphBuilder(q)
+    graph = b.to_csr(coo)
+    graph_und = b.to_csr(coo_und) if algorithm == "cc" else None
+    q.reset_profile()
+    with scan_memoization(memo):
+        run_algorithm(algorithm, graph, graph_und, layout)
+    return int(q.elapsed_ns)
+
+
+def bench_case(algorithm: str, graph_name: str, coo, coo_und, layout: str, repeats: int) -> dict:
+    q = Queue(get_device("v100s"), enable_profiling=False, capacity_limit=0)
+    b = GraphBuilder(q)
+    graph = b.to_csr(coo)
+    graph_und = b.to_csr(coo_und) if algorithm == "cc" else None
+
+    # warm both paths once (allocations, numpy dispatch caches)
+    with scan_memoization(True):
+        warm = run_algorithm(algorithm, graph, graph_und, layout)
+
+    best = {"on": float("inf"), "off": float("inf")}
+    digests = {}
+    iterations = 0
+    for _ in range(repeats):
+        for mode, enabled in (("on", True), ("off", False)):
+            with scan_memoization(enabled):
+                t0 = time.perf_counter()
+                result = run_algorithm(algorithm, graph, graph_und, layout)
+                best[mode] = min(best[mode], time.perf_counter() - t0)
+            digests[mode] = result_digest(algorithm, result)
+            iterations = int(result.iterations)
+
+    ns_on = modeled_ns(algorithm, coo, coo_und, layout, True)
+    ns_off = modeled_ns(algorithm, coo, coo_und, layout, False)
+    return {
+        "algorithm": algorithm,
+        "graph": graph_name,
+        "layout": layout,
+        "iterations": iterations,
+        "host_ms_memo_on": round(best["on"] * 1e3, 3),
+        "host_ms_memo_off": round(best["off"] * 1e3, 3),
+        "speedup": round(best["off"] / best["on"], 3) if best["on"] > 0 else None,
+        "modeled_ns": ns_on,
+        "modeled_ns_memo_off": ns_off,
+        "modeled_unchanged": ns_on == ns_off,
+        "results_match": digests.get("on") == digests.get("off"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--quick", action="store_true", help="smaller graphs, fewer repeats (CI)")
+    parser.add_argument("--repeats", type=int, default=None, help="timing passes per mode (best-of)")
+    parser.add_argument("--seed", type=int, default=7, help="graph generator seed")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr3.json"),
+        help="output JSON path (default: repo-root BENCH_pr3.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (3 if args.quick else 5)
+
+    entries = []
+    for graph_name, coo in make_cases(args.quick, args.seed):
+        coo_und = coo  # generators already emit symmetric-enough inputs for CC
+        for algorithm in ALGORITHMS:
+            for layout in LAYOUTS:
+                entry = bench_case(algorithm, graph_name, coo, coo_und, layout, repeats)
+                entries.append(entry)
+                flag = "" if entry["modeled_unchanged"] and entry["results_match"] else "  <-- MISMATCH"
+                print(
+                    f"{algorithm:5s} {graph_name:12s} {layout:7s} "
+                    f"on={entry['host_ms_memo_on']:8.2f}ms off={entry['host_ms_memo_off']:8.2f}ms "
+                    f"speedup={entry['speedup']:.2f}x iters={entry['iterations']}{flag}"
+                )
+
+    hot = next(
+        e
+        for e in entries
+        if e["algorithm"] == HOT_LOOP_ALGORITHM
+        and e["layout"] == HOT_LOOP_LAYOUT
+        and e["graph"] == HOT_LOOP_GRAPH
+    )
+    report = {
+        "benchmark": "trajectory",
+        "pr": 3,
+        "mode": "quick" if args.quick else "full",
+        "seed": args.seed,
+        "repeats": repeats,
+        "device": "v100s",
+        "hot_loop": {
+            "case": f"{HOT_LOOP_ALGORITHM}/{HOT_LOOP_LAYOUT}/{HOT_LOOP_GRAPH}",
+            "speedup": hot["speedup"],
+            "host_ms_memo_on": hot["host_ms_memo_on"],
+            "host_ms_memo_off": hot["host_ms_memo_off"],
+            "modeled_unchanged": hot["modeled_unchanged"],
+            "target_speedup": 1.3,
+            "meets_target": bool(hot["speedup"] and hot["speedup"] >= 1.3),
+        },
+        "entries": entries,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nhot loop {report['hot_loop']['case']}: {hot['speedup']}x "
+          f"(target 1.3x, modeled_unchanged={hot['modeled_unchanged']})")
+    print(f"wrote {args.output}")
+
+    bad = [e for e in entries if not (e["modeled_unchanged"] and e["results_match"])]
+    if bad:
+        print(f"ERROR: {len(bad)} entries with modeled-time or result drift", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

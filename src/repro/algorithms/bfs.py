@@ -104,6 +104,7 @@ def direction_optimizing_bfs(
     alpha: float = 14.0,
     beta: float = 24.0,
     config: Optional[AdvanceConfig] = None,
+    bits: Optional[int] = None,
 ) -> BFSResult:
     """BFS with Beamer push/pull direction switching.
 
@@ -111,14 +112,19 @@ def direction_optimizing_bfs(
     back when the frontier shrinks below ``n / beta`` (the standard
     direction-optimization heuristics).
     Requires both CSR (push) and CSC (pull) forms of the same graph.
+    ``bits`` overrides the bitmap word width for bitmap-family layouts,
+    with the same ``config.params`` fallback as :func:`bfs`.
     """
     queue = graph.queue
     n = graph.get_vertex_count()
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
 
-    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
-    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    kwargs = layout_bits_kwargs(layout, bits)
+    if not kwargs and config is not None and config.params is not None and layout in ("2lb", "bitmap"):
+        kwargs["bits"] = config.params.bitmap_bits
+    in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     dist = queue.malloc_shared((n,), np.int64, label="dobfs.dist", fill=UNSEEN)
     dist[source] = 0
     in_frontier.insert(source)

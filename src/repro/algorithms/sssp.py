@@ -21,7 +21,13 @@ from repro.operators.advance import AdvanceConfig
 
 @dataclass
 class SSSPResult:
-    """Per-vertex distances (inf = unreachable) and iteration stats."""
+    """Per-vertex distances (inf = unreachable) and iteration stats.
+
+    ``relaxations`` counts **edges whose relaxation improved a
+    distance** (duplicates included) — not the unique next-frontier
+    size, which undercounts whenever several edges improve the same
+    destination in one superstep.
+    """
 
     distances: np.ndarray
     iterations: int
@@ -31,18 +37,21 @@ class SSSPResult:
         return float(self.distances[v])
 
 
-def _relax_functor(dist):
+def _relax_functor(dist, stats):
     """Advance functor performing edge relaxation with an atomic-min.
 
     Returns the mask of edges that improved their destination — those
     destinations enter the next frontier.  ``np.minimum.at`` is the
     vectorized equivalent of the CUDA ``atomicMin`` loop: unordered, but
-    every thread's improvement lands.
+    every thread's improvement lands.  Each improving edge increments
+    ``stats["relaxations"]`` — counted *here*, where the edges are
+    visible, not from the (deduplicated) output frontier.
     """
 
     def functor(src, dst, eid, w):
         candidate = dist[src] + w.astype(np.float64)
         improved = candidate < dist[dst]
+        stats["relaxations"] += int(np.count_nonzero(improved))
         np.minimum.at(dist, dst[improved], candidate[improved])
         return improved
 
@@ -75,15 +84,14 @@ def sssp(
     dist[source] = 0.0
     in_frontier.insert(source)
 
-    relaxations = 0
+    stats = {"relaxations": 0}
     iteration = 0
     # Bellman-Ford terminates after at most |V| rounds on negative-free
     # weights; the frontier usually empties far sooner.
     limit = max_iterations if max_iterations is not None else n + 1
-    functor = _relax_functor(dist)
+    functor = _relax_functor(dist, stats)
     while not in_frontier.empty() and iteration < limit:
         advance.frontier(graph, in_frontier, out_frontier, functor, config).wait()
-        relaxations += out_frontier.count()
         swap(in_frontier, out_frontier)
         out_frontier.clear()
         iteration += 1
@@ -91,7 +99,9 @@ def sssp(
 
     distances = np.asarray(dist).copy()
     queue.free(dist)
-    return SSSPResult(distances=distances, iterations=iteration, relaxations=relaxations)
+    return SSSPResult(
+        distances=distances, iterations=iteration, relaxations=stats["relaxations"]
+    )
 
 
 def delta_stepping(
@@ -100,6 +110,7 @@ def delta_stepping(
     delta: Optional[float] = None,
     layout: str = "2lb",
     config: Optional[AdvanceConfig] = None,
+    bits: Optional[int] = None,
 ) -> SSSPResult:
     """Δ-stepping SSSP (Meyer & Sanders) — the optimization the paper's
     SSSP deliberately omits, provided as an extension.
@@ -107,7 +118,8 @@ def delta_stepping(
     Vertices are settled in distance buckets of width ``delta``; within a
     bucket, light edges (w <= delta) are relaxed to fixpoint before heavy
     edges are expanded once.  ``delta`` defaults to max_w / avg_degree —
-    the classic Meyer-Sanders heuristic.
+    the classic Meyer-Sanders heuristic.  ``bits`` overrides the bitmap
+    word width for bitmap-family layouts, matching :func:`sssp`.
     """
     queue = graph.queue
     n = graph.get_vertex_count()
@@ -125,11 +137,12 @@ def delta_stepping(
 
     dist = queue.malloc_shared((n,), np.float64, label="dstep.dist", fill=np.inf)
     dist[source] = 0.0
-    frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
-    scratch = make_frontier(queue, n, FrontierView.VERTEX, layout=layout)
+    kwargs = layout_bits_kwargs(layout, bits)
+    frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+    scratch = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
 
     iteration = 0
-    relaxations = 0
+    stats = {"relaxations": 0}
     bucket_idx = 0
     settled = np.zeros(n, dtype=bool)
     while True:
@@ -148,13 +161,12 @@ def delta_stepping(
         # remain inside the bucket window are reprocessed until quiescence
         frontier.clear()
         frontier.insert(members)
-        light = _edge_class_functor(dist, delta, light=True)
+        light = _edge_class_functor(dist, delta, stats, light=True)
         processed = [members]
         while not frontier.empty():
             scratch.clear()
             advance.frontier(graph, frontier, scratch, light, config).wait()
             iteration += 1
-            relaxations += scratch.count()
             inside = scratch.active_elements()
             inside = inside[np.asarray(dist)[inside] < hi]
             settled[inside] = True
@@ -165,27 +177,34 @@ def delta_stepping(
         # heavy edges of every vertex removed from this bucket, once
         frontier.clear()
         frontier.insert(np.unique(np.concatenate(processed)))
-        heavy = _edge_class_functor(dist, delta, light=False)
+        heavy = _edge_class_functor(dist, delta, stats, light=False)
         scratch.clear()
         advance.frontier(graph, frontier, scratch, heavy, config).wait()
         iteration += 1
-        relaxations += scratch.count()
         bucket_idx += 1
         queue.memory.tick(f"dstep.bucket{bucket_idx}")
 
     distances = np.asarray(dist).copy()
     queue.free(dist)
-    return SSSPResult(distances=distances, iterations=iteration, relaxations=relaxations)
+    return SSSPResult(
+        distances=distances, iterations=iteration, relaxations=stats["relaxations"]
+    )
 
 
-def _edge_class_functor(dist, delta: float, light: bool):
-    """Relaxation functor restricted to light (w <= Δ) or heavy edges."""
+def _edge_class_functor(dist, delta: float, stats, light: bool):
+    """Relaxation functor restricted to light (w <= Δ) or heavy edges.
+
+    Improving edges are counted in ``stats["relaxations"]`` like
+    :func:`_relax_functor` — the output frontier's unique size is not
+    the number of edges relaxed.
+    """
 
     def functor(src, dst, eid, w):
         wd = w.astype(np.float64)
         sel = (wd <= delta) if light else (wd > delta)
         candidate = dist[src] + wd
         improved = sel & (candidate < dist[dst])
+        stats["relaxations"] += int(np.count_nonzero(improved))
         np.minimum.at(dist, dst[improved], candidate[improved])
         return improved
 

@@ -38,7 +38,7 @@ def add_check_arguments(parser) -> None:
         help="bitmap word widths to sweep, comma-separated; 'device' = inspector default",
     )
     group.add_argument(
-        "--algorithms", default=None, help="comma-separated subset (default: all five)"
+        "--algorithms", default=None, help="comma-separated subset (default: all seven)"
     )
     group.add_argument(
         "--layouts", default=None, help="comma-separated subset (default: all four)"

@@ -39,8 +39,10 @@ BACKEND_DEVICES = {"cuda": "v100s", "level_zero": "max1100", "hip": "mi100"}
 #: the four frontier data layouts of paper §4
 LAYOUTS = ("2lb", "bitmap", "vector", "boolmap")
 
-#: algorithms with an oracle (paper §3.4 plus the PageRank extension)
-ALGORITHMS = ("bfs", "sssp", "cc", "bc", "pagerank")
+#: algorithms with an oracle (paper §3.4 plus the PageRank extension,
+#: the Beamer direction-optimizing BFS, and Δ-stepping SSSP — the last
+#: two reuse the bfs/sssp oracles since they compute identical results)
+ALGORITHMS = ("bfs", "sssp", "cc", "bc", "pagerank", "dobfs", "delta_stepping")
 
 
 @dataclass(frozen=True)
@@ -151,9 +153,9 @@ def _canonical_labels(labels: np.ndarray) -> np.ndarray:
 def _oracle_result(case: graphgen.GraphCase, algorithm: str) -> np.ndarray:
     coo, s = case.coo, case.source
     n = coo.n_vertices
-    if algorithm == "bfs":
+    if algorithm in ("bfs", "dobfs"):
         return oracle.oracle_bfs(n, coo.src, coo.dst, s)
-    if algorithm == "sssp":
+    if algorithm in ("sssp", "delta_stepping"):
         return oracle.oracle_sssp(n, coo.src, coo.dst, coo.weights, s)
     if algorithm == "cc":
         return oracle.oracle_cc(n, coo.src, coo.dst)
@@ -165,15 +167,23 @@ def _oracle_result(case: graphgen.GraphCase, algorithm: str) -> np.ndarray:
 
 
 def _run_framework(
-    csr, csr_undirected, case: graphgen.GraphCase, cfg: RunConfig
+    csr, csr_undirected, csc, case: graphgen.GraphCase, cfg: RunConfig
 ) -> np.ndarray:
     from repro.algorithms import bc, bfs, cc, pagerank, sssp
+    from repro.algorithms.bfs import direction_optimizing_bfs
+    from repro.algorithms.sssp import delta_stepping
 
     s = case.source
     if cfg.algorithm == "bfs":
         return bfs(csr, s, layout=cfg.layout, bits=cfg.bits).distances
+    if cfg.algorithm == "dobfs":
+        return direction_optimizing_bfs(
+            csr, csc, s, layout=cfg.layout, bits=cfg.bits
+        ).distances
     if cfg.algorithm == "sssp":
         return sssp(csr, s, layout=cfg.layout, bits=cfg.bits).distances
+    if cfg.algorithm == "delta_stepping":
+        return delta_stepping(csr, s, layout=cfg.layout, bits=cfg.bits).distances
     if cfg.algorithm == "cc":
         return _canonical_labels(cc(csr_undirected, layout=cfg.layout, bits=cfg.bits).labels)
     if cfg.algorithm == "bc":
@@ -193,6 +203,8 @@ _COMPARATORS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "bc": lambda a, b: np.nonzero(~np.isclose(a, b, rtol=1e-6, atol=1e-9))[0],
     "pagerank": lambda a, b: np.nonzero(~np.isclose(a, b, rtol=1e-6, atol=1e-9))[0],
 }
+_COMPARATORS["dobfs"] = _COMPARATORS["bfs"]
+_COMPARATORS["delta_stepping"] = _COMPARATORS["sssp"]
 
 
 def _first_mismatch(
@@ -319,6 +331,7 @@ def run_differential(
             builder = GraphBuilder(queue)
             csr = builder.to_csr(case.coo)
             csr_undirected = builder.to_csr(case.coo.symmetrized())
+            csc = builder.to_csc(case.coo)  # pull direction for dobfs
             for algorithm in algorithms:
                 if algorithm not in oracle_cache:
                     oracle_cache[algorithm] = _oracle_result(case, algorithm)
@@ -331,9 +344,9 @@ def run_differential(
                         try:
                             if strict:
                                 with strict_mode(queue, guard=4):
-                                    got = _run_framework(csr, csr_undirected, case, cfg)
+                                    got = _run_framework(csr, csr_undirected, csc, case, cfg)
                             else:
-                                got = _run_framework(csr, csr_undirected, case, cfg)
+                                got = _run_framework(csr, csr_undirected, csc, case, cfg)
                         except Exception as exc:  # noqa: BLE001 — report, don't abort the sweep
                             report.errors.append(
                                 RunError(case.name, cfg, f"{type(exc).__name__}: {exc}")

@@ -8,7 +8,10 @@ single ``is None`` branch per kernel and nothing per allocation):
    kernel, :meth:`~repro.frontier.base.Frontier.check_invariant` runs on
    every live frontier, so a layer-2 bit left stale by a buggy kernel is
    caught *at that kernel*, not as a corrupted result three supersteps
-   later;
+   later.  The same sweep replays every epoch-memoized scan
+   (:meth:`~repro.frontier.base.Frontier.scan_cache_coherent`) so a
+   mutation that forgot its epoch bump can never serve a stale cached
+   frontier;
 2. **guard canaries** — USM allocations are padded with canary words;
    out-of-range writes into tracked buffers corrupt a canary and raise
    on the next check or free;
@@ -46,6 +49,7 @@ class CheckStats:
     frontier_checks: int = 0
     frontiers_registered: int = 0
     canary_sweeps: int = 0
+    cache_coherence_checks: int = 0
     kernels_by_name: List[str] = field(default_factory=list)
 
 
@@ -112,6 +116,18 @@ class InvariantChecker:
                         f"{type(f).__name__}(n_elements={f.n_elements}) "
                         f"failed check_invariant()"
                     )
+                # scan-cache coherence: a memoized view must equal a
+                # fresh recomputation, or a mutation forgot its epoch
+                # bump and could silently serve a stale frontier
+                self.stats.cache_coherence_checks += 1
+                stale = f.scan_cache_coherent()
+                if stale is not None:
+                    raise InvariantViolation(
+                        f"stale frontier scan cache after kernel {name!r}: "
+                        f"{type(f).__name__}(n_elements={f.n_elements}) "
+                        f"memoized {stale!r} no longer matches a fresh "
+                        f"recomputation (missing epoch bump?)"
+                    )
         if self.check_canaries:
             self.stats.canary_sweeps += 1
             queue.memory.check_canaries()
@@ -123,6 +139,13 @@ class InvariantChecker:
                 raise InvariantViolation(
                     f"frontier invariant violated: {type(f).__name__}"
                     f"(n_elements={f.n_elements}) failed check_invariant()"
+                )
+            stale = f.scan_cache_coherent()
+            if stale is not None:
+                raise InvariantViolation(
+                    f"stale frontier scan cache: {type(f).__name__}"
+                    f"(n_elements={f.n_elements}) memoized {stale!r} no "
+                    f"longer matches a fresh recomputation"
                 )
         queue.memory.check_canaries()
 

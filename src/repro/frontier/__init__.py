@@ -25,6 +25,7 @@ from repro.frontier.base import (
     FrontierView,
     layout_bits_kwargs,
     make_frontier,
+    scan_memoization,
 )
 from repro.frontier.bitmap import BitmapFrontier
 from repro.frontier.boolmap import BoolmapFrontier
@@ -44,6 +45,7 @@ __all__ = [
     "FrontierView",
     "layout_bits_kwargs",
     "make_frontier",
+    "scan_memoization",
     "BitmapFrontier",
     "MultiLayerBitmapFrontier",
     "TwoLayerBitmapFrontier",

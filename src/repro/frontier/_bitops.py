@@ -12,18 +12,22 @@ import numpy as np
 from repro.types import bitmap_dtype
 
 # numpy >= 2.0 ships a hardware popcount; keep a LUT fallback for older
-# versions so the library stays importable there.
+# versions so the library stays importable there.  The LUT is always
+# built (256 bytes) so the fallback path stays testable on numpy >= 2.
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
-if not _HAS_BITWISE_COUNT:  # pragma: no cover - exercised only on numpy<2
-    _POPCNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+_POPCNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
 
 
 def popcount(words: np.ndarray) -> np.ndarray:
-    """Per-word set-bit count."""
+    """Per-word set-bit count, in the words' own dtype (both paths)."""
     if _HAS_BITWISE_COUNT:
-        return np.bitwise_count(words)
-    as_bytes = words.view(np.uint8)  # pragma: no cover
-    return _POPCNT8[as_bytes].reshape(words.shape[0], -1).sum(axis=1, dtype=np.uint32)  # pragma: no cover
+        # np.bitwise_count returns uint8; normalize to the word dtype
+        return np.bitwise_count(words).astype(words.dtype)
+    per_byte = _POPCNT8[words.view(np.uint8)]
+    # reshape via the explicit itemsize: shape[0] breaks on empty input
+    return per_byte.reshape(words.size, words.dtype.itemsize).sum(
+        axis=1, dtype=words.dtype
+    )
 
 
 def count_set_bits(words: np.ndarray) -> int:

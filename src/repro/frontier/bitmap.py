@@ -18,6 +18,9 @@ from repro.types import bitmap_dtype
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sycl.queue import Queue
 
+#: shared read-only empty id array for primed empty scans
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
 
 class BitmapFrontier(Frontier):
     """Array-of-words bitmap over ``n_elements`` bits.
@@ -47,21 +50,46 @@ class BitmapFrontier(Frontier):
     # -- mutation ------------------------------------------------------- #
     def insert(self, elements) -> None:
         ids = self._validated(elements)
+        if ids.size == 0:
+            return
+        was_empty = self._cached_was_empty()
         _bitops.set_bits(self.words, ids, self.bits)
+        self._bump_epoch()
+        if was_empty:
+            # insert into a provably-empty frontier: the scans are known by
+            # construction, no bitmap pass needed for the next query
+            active = np.unique(ids)
+            self._prime_scan_cache(
+                active=active, nonzero_words=np.unique(active // self.bits)
+            )
 
     def remove(self, elements) -> None:
         ids = self._validated(elements)
         _bitops.clear_bits(self.words, ids, self.bits)
+        self._bump_epoch()
 
     def clear(self) -> None:
         self.words[:] = 0
+        self._bump_epoch()
+        self._prime_scan_cache(active=_EMPTY_IDS, nonzero_words=_EMPTY_IDS)
 
-    # -- queries -------------------------------------------------------- #
+    # -- queries (memoized against the mutation epoch) ------------------ #
     def count(self) -> int:
-        return _bitops.count_set_bits(self.words)
+        if not Frontier._memo_enabled:
+            return _bitops.count_set_bits(self.words)
+        # shares the expansion with active_elements(): one bitmap scan
+        # serves the driver's empty()/count() and the advance
+        return int(self.active_elements().size)
 
     def active_elements(self) -> np.ndarray:
-        return _bitops.expand_words(self.words, self.bits, self.n_elements)
+        return self._memoized("active")
+
+    def _scan_compute(self, key: str):
+        if key == "active":
+            return _bitops.expand_words(self.words, self.bits, self.n_elements)
+        if key == "nonzero_words":
+            return np.nonzero(self.words)[0].astype(np.int64)
+        return super()._scan_compute(key)
 
     def contains(self, elements) -> np.ndarray:
         ids = self._validated(elements)
@@ -73,7 +101,7 @@ class BitmapFrontier(Frontier):
         The plain bitmap finds them by scanning *every* word — the cost the
         Two-Layer layout exists to avoid (Figure 5a).
         """
-        return np.nonzero(self.words)[0].astype(np.int64)
+        return self._memoized("nonzero_words")
 
     # -- memory --------------------------------------------------------- #
     @property
@@ -85,6 +113,7 @@ class BitmapFrontier(Frontier):
         self._check_swappable(other)
         assert isinstance(other, BitmapFrontier)
         self.words, other.words = other.words, self.words
+        self._swap_scan_state(other)
 
     def check_invariant(self) -> bool:
         """No bit set beyond ``n_elements`` (the tail of the last word)."""

@@ -30,20 +30,39 @@ class BoolmapFrontier(Frontier):
 
     def insert(self, elements) -> None:
         ids = self._as_ids(elements)
+        if ids.size == 0:
+            return
+        was_empty = self._cached_was_empty()
         self.flags[ids] = 1
+        self._bump_epoch()
+        if was_empty:
+            # insert into a provably-empty map: the active set is the
+            # sorted-unique batch — no flag scan needed for the next query
+            self._prime_scan_cache(active=np.unique(ids))
 
     def remove(self, elements) -> None:
         ids = self._as_ids(elements)
         self.flags[ids] = 0
+        self._bump_epoch()
 
     def clear(self) -> None:
         self.flags[:] = 0
+        self._bump_epoch()
+        self._prime_scan_cache(active=np.empty(0, dtype=np.int64))
 
+    # -- queries (memoized against the mutation epoch) ------------------ #
     def count(self) -> int:
-        return int(self.flags.sum(dtype=np.int64))
+        if not Frontier._memo_enabled:
+            return int(self.flags.sum(dtype=np.int64))
+        return int(self.active_elements().size)
 
     def active_elements(self) -> np.ndarray:
-        return np.nonzero(self.flags)[0].astype(np.int64)
+        return self._memoized("active")
+
+    def _scan_compute(self, key: str):
+        if key == "active":
+            return np.nonzero(self.flags)[0].astype(np.int64)
+        return super()._scan_compute(key)
 
     def contains(self, elements) -> np.ndarray:
         ids = self._as_ids(elements)
@@ -57,6 +76,7 @@ class BoolmapFrontier(Frontier):
         self._check_swappable(other)
         assert isinstance(other, BoolmapFrontier)
         self.flags, other.flags = other.flags, self.flags
+        self._swap_scan_state(other)
 
     def check_invariant(self) -> bool:
         """Flags are strictly 0/1 and padding bytes (n_elements=0) stay 0."""

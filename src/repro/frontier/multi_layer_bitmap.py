@@ -32,6 +32,9 @@ from repro.types import bitmap_dtype
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sycl.queue import Queue
 
+#: shared read-only empty id array for primed empty scans
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
 
 class MultiLayerBitmapFrontier(Frontier):
     """Bitmap-tree frontier with a configurable number of layers.
@@ -74,6 +77,8 @@ class MultiLayerBitmapFrontier(Frontier):
             (self.layers[0].size,), np.int64, label="frontier.mlb.offsets", fill=0
         )
         self._n_offsets = 0
+        #: epoch at which the offsets buffer was last (re)filled
+        self._offsets_epoch = -1
 
     @property
     def words(self) -> np.ndarray:
@@ -89,11 +94,21 @@ class MultiLayerBitmapFrontier(Frontier):
         ids = self._validated(elements)
         if ids.size == 0:
             return
+        was_empty = self._cached_was_empty()
+        primed_active = np.unique(ids) if was_empty else None
         # every layer gets its summary bit — the per-insert cost that grows
         # with tree depth (paper §4.4)
+        level0_words = None
         for layer in self.layers:
             _bitops.set_bits(layer, ids, self.bits)
             ids = np.unique(ids // self.bits)
+            if level0_words is None:
+                level0_words = ids
+        self._bump_epoch()
+        if was_empty:
+            # insert into a provably-empty frontier determines both scans by
+            # construction — no tree walk needed for the next query
+            self._prime_scan_cache(active=primed_active, nonzero_words=level0_words)
 
     def remove(self, elements) -> None:
         ids = self._validated(elements)
@@ -107,26 +122,48 @@ class MultiLayerBitmapFrontier(Frontier):
             _bitops.clear_bits(layer, now_zero, self.bits)
             below = layer
             ids = np.unique(ids // self.bits)
+        self._bump_epoch()
 
     def clear(self) -> None:
         for layer in self.layers:
             layer[:] = 0
         self._n_offsets = 0
+        self._bump_epoch()
+        self._prime_scan_cache(active=_EMPTY_IDS, nonzero_words=_EMPTY_IDS)
+        if Frontier._memo_enabled:
+            self._offsets_epoch = self._epoch  # offsets buffer trivially valid
 
-    # -- queries -------------------------------------------------------- #
+    # -- queries (memoized against the mutation epoch) ------------------ #
     def count(self) -> int:
-        return _bitops.count_set_bits(self.layers[0])
+        if not Frontier._memo_enabled:
+            return _bitops.count_set_bits(self.layers[0])
+        return int(self.active_elements().size)
 
     def active_elements(self) -> np.ndarray:
-        nz = self.nonzero_words()
-        return _bitops.expand_selected_words(self.layers[0], nz, self.bits, self.n_elements)
+        return self._memoized("active")
+
+    def _scan_compute(self, key: str):
+        if key == "active":
+            return _bitops.expand_selected_words(
+                self.layers[0], self.nonzero_words(), self.bits, self.n_elements
+            )
+        if key == "nonzero_words":
+            return self._walk_nonzero_words()
+        return super()._scan_compute(key)
 
     def contains(self, elements) -> np.ndarray:
         ids = self._validated(elements)
         return _bitops.test_bits(self.layers[0], ids, self.bits)
 
     def nonzero_words(self) -> np.ndarray:
-        """Walk the tree top-down to the nonzero layer-0 word indices."""
+        """Walk the tree top-down to the nonzero layer-0 word indices.
+
+        Memoized against the mutation epoch — the offsets chain and the
+        vertex expansion share one walk per iteration.
+        """
+        return self._memoized("nonzero_words")
+
+    def _walk_nonzero_words(self) -> np.ndarray:
         top = len(self.layers) - 1
         candidates = _bitops.expand_words(
             self.layers[top], self.bits, self.layers[top].size * self.bits
@@ -143,11 +180,17 @@ class MultiLayerBitmapFrontier(Frontier):
         return candidates[self.layers[0][candidates] != 0]
 
     def compute_offsets(self) -> np.ndarray:
-        """Pre-advance pass: one dependent traversal per extra layer."""
+        """Pre-advance pass: one dependent traversal per extra layer.
+
+        The tree walk comes from the memoized :meth:`nonzero_words`; the
+        buffer fill is skipped when the epoch hasn't moved.
+        """
         nz = self.nonzero_words()
-        self._n_offsets = nz.size
-        self.offsets[: nz.size] = nz
-        return self.offsets[: nz.size]
+        if self._offsets_epoch != self._epoch or not self._memo_enabled:
+            self._n_offsets = nz.size
+            self.offsets[: nz.size] = nz
+            self._offsets_epoch = self._epoch
+        return self.offsets[: self._n_offsets]
 
     @property
     def n_offsets(self) -> int:
@@ -164,9 +207,16 @@ class MultiLayerBitmapFrontier(Frontier):
         assert isinstance(other, MultiLayerBitmapFrontier)
         if self.n_layers != other.n_layers:
             raise FrontierError("cannot swap bitmap-trees of different depths")
+        incoming_offsets = other._offsets_epoch == other._epoch
+        outgoing_offsets = self._offsets_epoch == self._epoch
         self.layers, other.layers = other.layers, self.layers
         self.offsets, other.offsets = other.offsets, self.offsets
         self._n_offsets, other._n_offsets = other._n_offsets, self._n_offsets
+        # epochs bump (external views go stale) but the memoized scans —
+        # and the filled offsets buffer — follow their payloads
+        self._swap_scan_state(other)
+        self._offsets_epoch = self._epoch if incoming_offsets else -1
+        other._offsets_epoch = other._epoch if outgoing_offsets else -1
 
     def check_invariant(self) -> bool:
         """Every layer-k bit == (layer-(k-1) word nonzero), all k; and no

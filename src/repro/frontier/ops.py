@@ -24,7 +24,7 @@ from repro.frontier.base import Frontier
 from repro.frontier.bitmap import BitmapFrontier
 from repro.frontier.multi_layer_bitmap import MultiLayerBitmapFrontier
 from repro.frontier.two_layer_bitmap import TwoLayerBitmapFrontier
-from repro.perfmodel.cost import KernelWorkload
+from repro.perfmodel.cost import KernelWorkload, null_workload
 from repro.sycl.ndrange import Range
 
 #: address-space regions for the cost model (distinct buffers never alias)
@@ -69,9 +69,14 @@ def _bitwise_op(a: Frontier, b: Frontier, out: Frontier, op: Callable, name: str
         for layer in out.layers[1:]:
             _bitops.set_bits(layer, ids, out.bits)
             ids = np.unique(ids // out.bits)
+    # the writes above bypass insert(): invalidate out's memoized scans
+    out._bump_epoch()
 
-    n_words = a.words.size  # type: ignore[attr-defined]
     queue = a.queue
+    if not queue.enable_profiling:
+        queue.submit(null_workload(f"frontier.{name}"))
+        return
+    n_words = a.words.size  # type: ignore[attr-defined]
     geom = Range(n_words).resolve(
         queue.device.spec.max_workgroup_size // 4, queue.device.spec.preferred_subgroup_size
     )
@@ -97,6 +102,9 @@ def _set_fallback(a: Frontier, b: Frontier, out: Frontier, setop: Callable, name
     out.insert(result)
 
     queue = a.queue
+    if not queue.enable_profiling:
+        queue.submit(null_workload(f"frontier.{name}.generic"))
+        return
     total = ea.size + eb.size
     geom = Range(max(1, total)).resolve(
         queue.device.spec.max_workgroup_size // 4, queue.device.spec.preferred_subgroup_size

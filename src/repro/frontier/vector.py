@@ -67,9 +67,15 @@ class VectorFrontier(Frontier):
         ids = self._as_ids(elements)
         if ids.size == 0:
             return
+        was_empty = self._cached_was_empty()
         self._ensure_capacity(self._size + ids.size)
         self._data[self._size : self._size + ids.size] = ids.astype(vertex_t)
         self._size += int(ids.size)
+        self._bump_epoch()
+        if was_empty:
+            # appending to a provably-empty vector: the deduplicated view is
+            # just the sorted-unique batch — no rescan of the vector needed
+            self._prime_scan_cache(active=np.unique(ids))
 
     def remove(self, elements) -> None:
         ids = self._as_ids(elements)
@@ -79,9 +85,12 @@ class VectorFrontier(Frontier):
         kept = self._data[: self._size][keep]
         self._data[: kept.size] = kept
         self._size = int(kept.size)
+        self._bump_epoch()
 
     def clear(self) -> None:
         self._size = 0
+        self._bump_epoch()
+        self._prime_scan_cache(active=np.empty(0, dtype=np.int64))
 
     def deduplicate(self) -> int:
         """Post-processing pass removing duplicates; returns removed count.
@@ -100,18 +109,25 @@ class VectorFrontier(Frontier):
         removed = self._size - keep.size
         self._data[: keep.size] = self._data[: self._size][keep]
         self._size = int(keep.size)
+        # the active *set* is unchanged, but raw contents/order moved —
+        # bump conservatively so no memoized view can go stale
+        self._bump_epoch()
         return int(removed)
 
-    # -- queries -------------------------------------------------------- #
+    # -- queries (memoized against the mutation epoch) ------------------ #
     def count(self) -> int:
-        if self._size == 0:
-            return 0
-        return int(np.unique(self._data[: self._size]).size)
+        # count requires the dedup either way; share it with the advance
+        return int(self.active_elements().size)
 
     def active_elements(self) -> np.ndarray:
-        if self._size == 0:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(self._data[: self._size]).astype(np.int64)
+        return self._memoized("active")
+
+    def _scan_compute(self, key: str):
+        if key == "active":
+            if self._size == 0:
+                return np.empty(0, dtype=np.int64)
+            return np.unique(self._data[: self._size]).astype(np.int64)
+        return super()._scan_compute(key)
 
     def raw_elements(self) -> np.ndarray:
         """The vector contents *with* duplicates, in insertion order."""
@@ -144,6 +160,7 @@ class VectorFrontier(Frontier):
         assert isinstance(other, VectorFrontier)
         self._data, other._data = other._data, self._data
         self._size, other._size = other._size, self._size
+        self._swap_scan_state(other)
 
     def check_invariant(self) -> bool:
         """Size within capacity and every stored id within [0, n_elements)."""

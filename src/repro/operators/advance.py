@@ -37,7 +37,7 @@ from repro.frontier.two_layer_bitmap import TwoLayerBitmapFrontier
 from repro.frontier.vector import VectorFrontier
 from repro.operators.functor import as_mask
 from repro.operators.load_balance import characterize_bitmap_advance
-from repro.perfmodel.cost import KernelWorkload
+from repro.perfmodel.cost import KernelWorkload, null_workload
 from repro.sycl.device import TunedParameters
 from repro.sycl.event import Event
 from repro.sycl.ndrange import Range
@@ -121,7 +121,9 @@ def _advance_from(
     if out_frontier is not None and accepted.size:
         out_frontier.insert(accepted)
 
-    # ---- cost accounting
+    # ---- cost accounting (skipped when the queue never consumes it)
+    if not queue.enable_profiling:
+        return queue.submit(null_workload(kernel))
     degrees = graph.out_degrees(active) if active.size else np.empty(0, np.int64)
     spec = queue.device.spec
     persistent_cap = spec.compute_units * spec.max_workgroups_per_cu
@@ -158,22 +160,30 @@ def _scan_frontier(
         raise FrontierError("advance.frontier requires an input frontier")
 
     if isinstance(in_frontier, TwoLayerBitmapFrontier):
-        # pre-pass kernel: scan layer 2, emit nonzero word offsets
+        # pre-pass kernel: scan layer 2, emit nonzero word offsets.  The
+        # layer-2 expansion is memoized against the frontier's mutation
+        # epoch, so compute_offsets() and active_elements() share ONE
+        # scan — and the driver's empty()/count() call already primed
+        # it.  Only host wall-time changes; the kernels charged below
+        # are identical to the unshared path.
         offsets = in_frontier.compute_offsets()
         active = in_frontier.active_elements()
-        geom = Range(max(1, in_frontier.n_words_l2)).resolve(
-            params.workgroup_size, params.subgroup_size
-        )
-        pre = KernelWorkload(
-            name=f"{kernel}.offsets",
-            geometry=geom,
-            active_lanes=in_frontier.n_words_l2,
-            instructions_per_lane=6.0,
-        )
-        word_bytes = in_frontier.words.dtype.itemsize
-        pre.add_stream(np.arange(in_frontier.n_words_l2), word_bytes, REGION_L2, label="l2.words")
-        pre.add_stream(offsets, word_bytes, REGION_FRONTIER_IN, label="l1.probe")
-        pre.add_stream(np.arange(offsets.size), 8, REGION_OFFSETS, is_write=True, label="offsets.out")
+        if queue.enable_profiling:
+            geom = Range(max(1, in_frontier.n_words_l2)).resolve(
+                params.workgroup_size, params.subgroup_size
+            )
+            pre = KernelWorkload(
+                name=f"{kernel}.offsets",
+                geometry=geom,
+                active_lanes=in_frontier.n_words_l2,
+                instructions_per_lane=6.0,
+            )
+            word_bytes = in_frontier.words.dtype.itemsize
+            pre.add_stream(np.arange(in_frontier.n_words_l2), word_bytes, REGION_L2, label="l2.words")
+            pre.add_stream(offsets, word_bytes, REGION_FRONTIER_IN, label="l1.probe")
+            pre.add_stream(np.arange(offsets.size), 8, REGION_OFFSETS, is_write=True, label="offsets.out")
+        else:
+            pre = null_workload(f"{kernel}.offsets")
         queue.submit(pre)
         # scan position = index within the compacted offsets buffer
         word_of_v = active // in_frontier.bits
@@ -191,13 +201,17 @@ def _scan_frontier(
         # bitmap-tree (§4.4): one *dependent* offsets kernel per extra
         # layer — "extra synchronization during advance operations" — and,
         # without native specialization constants, the dynamic layer loop
-        # cannot be unrolled (extra per-word instructions).
+        # cannot be unrolled (extra per-word instructions).  As with 2LB,
+        # the tree walk is epoch-memoized: offsets and expansion share it.
         offsets = in_frontier.compute_offsets()
         active = in_frontier.active_elements()
         unrolled = queue.device.traits.spec_constants_native
         layer_ops = 6.0 if unrolled else 10.0
         for k in range(1, in_frontier.n_layers):
             layer = in_frontier.layers[k]
+            if not queue.enable_profiling:
+                queue.submit(null_workload(f"{kernel}.offsets.l{k}"))
+                continue
             geom = Range(max(1, layer.size)).resolve(params.workgroup_size, params.subgroup_size)
             pre = KernelWorkload(
                 name=f"{kernel}.offsets.l{k}",
@@ -296,6 +310,30 @@ def _charge_memory(
             wl.add_stream(accepted, 1, REGION_FRONTIER_OUT, is_write=True, label="out.boolmap")
 
 
+def charge_frontier_probe(
+    wl: KernelWorkload, frontier: Frontier, ids: np.ndarray, region: int, label: str
+) -> None:
+    """Charge reads of a frontier's membership structure for ``ids``.
+
+    Uses the layout's *actual* storage: ``bits``-wide words for the
+    bitmap family (PR 1 made the width configurable — a hardcoded
+    ``// 64`` mischarges 32-bit bitmaps), one byte per element for the
+    boolmap, and contiguous slots for the vector — the latter two have
+    no bitmap words to stream.
+    """
+    if ids.size == 0:
+        return
+    bits = getattr(frontier, "bits", None)
+    if bits is not None:
+        wl.add_stream(
+            ids // bits, frontier.words.dtype.itemsize, region, label=label
+        )
+    elif isinstance(frontier, BoolmapFrontier):
+        wl.add_stream(ids, 1, region, label=label)
+    else:  # vector: the scan reads the slots in storage order
+        wl.add_stream(np.arange(ids.size), 4, region, label=label)
+
+
 # --------------------------------------------------------------------- #
 # pull variant                                                          #
 # --------------------------------------------------------------------- #
@@ -331,6 +369,8 @@ def frontier_pull(
     if out_frontier is not None and accepted.size:
         out_frontier.insert(accepted)
 
+    if not queue.enable_profiling:
+        return queue.submit(null_workload("advance.frontier.pull"))
     degrees = csc_graph.in_degrees(candidates) if candidates.size else np.empty(0, np.int64)
     shape = characterize_bitmap_advance(
         params,
@@ -352,11 +392,17 @@ def frontier_pull(
         wl.add_stream(candidates, 4, REGION_ROW_PTR, label="col_ptr")
     if eid.size:
         wl.add_stream(eid[half], 4, REGION_COL_IDX, label="row_idx")
-        # membership probes against the input frontier's bitmap
-        wl.add_stream(src[half] // params.bitmap_bits, 8, REGION_FRONTIER_IN, label="in.probe")
+        # membership probes against the input frontier's actual layout
+        charge_frontier_probe(wl, in_frontier, src[half], REGION_FRONTIER_IN, "in.probe")
     if out_frontier is not None and accepted.size and hasattr(out_frontier, "bits"):
         words = accepted // out_frontier.bits
-        wl.add_stream(words, 8, REGION_FRONTIER_OUT, is_write=True, label="out.bitmap")
+        wl.add_stream(
+            words,
+            out_frontier.words.dtype.itemsize,
+            REGION_FRONTIER_OUT,
+            is_write=True,
+            label="out.bitmap",
+        )
         wl.atomics += int(accepted.size)
         wl.atomic_targets += int(np.unique(words).size)
     return queue.submit(wl)

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.frontier.base import Frontier
 from repro.operators.advance import REGION_USERDATA
-from repro.perfmodel.cost import KernelWorkload
+from repro.perfmodel.cost import KernelWorkload, null_workload
 from repro.sycl.event import Event
 from repro.sycl.ndrange import Range
 
@@ -30,6 +30,8 @@ def execute(graph, frontier: Frontier, functor, write_bytes: int = 8) -> Event:
     if ids.size:
         functor(ids)
 
+    if not queue.enable_profiling:
+        return queue.submit(null_workload("compute.execute"))
     spec = queue.device.spec
     geom = Range(max(1, ids.size)).resolve(
         spec.max_workgroup_size // 4, spec.preferred_subgroup_size
@@ -52,6 +54,8 @@ def execute_all(graph, functor, write_bytes: int = 8) -> Event:
     ids = np.arange(n, dtype=np.int64)
     if n:
         functor(ids)
+    if not queue.enable_profiling:
+        return queue.submit(null_workload("compute.execute_all"))
     spec = queue.device.spec
     geom = Range(max(1, n)).resolve(spec.max_workgroup_size // 4, spec.preferred_subgroup_size)
     wl = KernelWorkload(

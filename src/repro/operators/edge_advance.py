@@ -30,10 +30,11 @@ from repro.operators.advance import (
     REGION_ROW_PTR,
     REGION_USERDATA,
     AdvanceConfig,
+    charge_frontier_probe,
 )
 from repro.operators.functor import as_mask
 from repro.operators.load_balance import characterize_bitmap_advance
-from repro.perfmodel.cost import KernelWorkload
+from repro.perfmodel.cost import KernelWorkload, null_workload
 from repro.sycl.event import Event
 from repro.sycl.ndrange import Range
 
@@ -73,6 +74,8 @@ def vertices_to_edges(
     if accepted.size:
         out_frontier.insert(accepted)
 
+    if not queue.enable_profiling:
+        return queue.submit(null_workload("advance.v2e"))
     degrees = graph.out_degrees(active) if active.size else np.empty(0, np.int64)
     spec = queue.device.spec
     cap = spec.compute_units * spec.max_workgroups_per_cu
@@ -97,7 +100,13 @@ def vertices_to_edges(
         wl.add_stream(dst, config.functor_read_bytes, REGION_USERDATA, label="functor.read")
     if accepted.size and hasattr(out_frontier, "bits"):
         words = accepted // out_frontier.bits
-        wl.add_stream(words, 8, REGION_FRONTIER_OUT, is_write=True, label="out.edges")
+        wl.add_stream(
+            words,
+            out_frontier.words.dtype.itemsize,
+            REGION_FRONTIER_OUT,
+            is_write=True,
+            label="out.edges",
+        )
         n_words = int(np.unique(words).size)
         wl.atomics += n_words
         wl.atomic_targets += n_words
@@ -132,6 +141,8 @@ def edges_to_vertices(
     if accepted.size:
         out_frontier.insert(accepted)
 
+    if not queue.enable_profiling:
+        return queue.submit(null_workload("advance.e2v"))
     spec = queue.device.spec
     geom = Range(max(1, eids.size)).resolve(
         spec.max_workgroup_size // 4, spec.preferred_subgroup_size
@@ -145,11 +156,18 @@ def edges_to_vertices(
     )
     if eids.size:
         wl.add_stream(eids, 4, REGION_COL_IDX, label="col_idx")
-        wl.add_stream(eids // 64, 8, REGION_FRONTIER_IN, label="in.edges")
+        # the edge frontier's own storage, at its actual word width
+        charge_frontier_probe(wl, in_frontier, eids, REGION_FRONTIER_IN, "in.edges")
         wl.add_stream(src, 4, REGION_ROW_PTR, label="row_ptr.search")
     if accepted.size and hasattr(out_frontier, "bits"):
         words = accepted // out_frontier.bits
-        wl.add_stream(words, 8, REGION_FRONTIER_OUT, is_write=True, label="out.bitmap")
+        wl.add_stream(
+            words,
+            out_frontier.words.dtype.itemsize,
+            REGION_FRONTIER_OUT,
+            is_write=True,
+            label="out.bitmap",
+        )
         n_words = int(np.unique(words).size)
         wl.atomics += n_words
         wl.atomic_targets += n_words

@@ -4,6 +4,12 @@
 functor; ``filter.external(G, in, out, functor)`` copies passing elements
 into a second frontier.  Like compute, filter launches with a plain
 ``range`` — one workitem per active element, no load-balancing machinery.
+
+Frontier traffic is charged against each frontier's *actual* layout:
+bitmap-family frontiers stream their ``bits``-wide words (a hardcoded
+``// 64`` here used to mischarge 32-bit bitmaps), the boolmap streams
+bytes, the vector streams slots — and only bitmap-family writes pay
+word-level atomics.
 """
 
 from __future__ import annotations
@@ -11,18 +17,60 @@ from __future__ import annotations
 import numpy as np
 
 from repro.frontier.base import Frontier
-from repro.operators.advance import REGION_FRONTIER_IN, REGION_FRONTIER_OUT, REGION_USERDATA
+from repro.frontier.boolmap import BoolmapFrontier
+from repro.operators.advance import (
+    REGION_FRONTIER_IN,
+    REGION_FRONTIER_OUT,
+    REGION_USERDATA,
+    charge_frontier_probe,
+)
 from repro.operators.functor import as_mask
-from repro.perfmodel.cost import KernelWorkload
+from repro.perfmodel.cost import KernelWorkload, null_workload
 from repro.sycl.event import Event
 from repro.sycl.ndrange import Range
 
 
-def _filter_kernel(queue, name: str, ids: np.ndarray, dropped: np.ndarray) -> Event:
+def _charge_frontier_write(
+    wl: KernelWorkload, frontier: Frontier, ids: np.ndarray, wg_size: int
+) -> None:
+    """Charge the filter's writes into ``frontier`` for ``ids``."""
+    if ids.size == 0:
+        return
+    bits = getattr(frontier, "bits", None)
+    if bits is not None:
+        words = ids // bits
+        wl.add_stream(
+            words,
+            frontier.words.dtype.itemsize,
+            REGION_FRONTIER_OUT,
+            is_write=True,
+            label="filter.write",
+        )
+        # word-level read-modify-write per element, contended per word
+        wl.atomics += int(ids.size)
+        wl.atomic_targets += int(np.unique(words).size)
+    elif isinstance(frontier, BoolmapFrontier):
+        # idempotent byte stores: no atomics needed
+        wl.add_stream(ids, 1, REGION_FRONTIER_OUT, is_write=True, label="filter.write")
+    else:
+        # vector append: coalesced tail writes + one tail bump per
+        # (simulated) workgroup flush
+        wl.add_stream(
+            np.arange(ids.size), 4, REGION_FRONTIER_OUT, is_write=True, label="filter.write"
+        )
+        wl.atomics += max(1, int(ids.size) // max(1, wg_size))
+        wl.atomic_targets += 1
+
+
+def _filter_kernel(
+    queue, name: str, in_frontier: Frontier, ids: np.ndarray,
+    out_frontier: Frontier, written: np.ndarray,
+) -> Event:
+    if not queue.enable_profiling:
+        return queue.submit(null_workload(name))
     spec = queue.device.spec
-    geom = Range(max(1, ids.size)).resolve(
-        spec.max_workgroup_size // 4, spec.preferred_subgroup_size
-    )
+    wg_size = spec.max_workgroup_size // 4
+    geom = Range(max(1, ids.size)).resolve(wg_size, spec.preferred_subgroup_size)
     wl = KernelWorkload(
         name=name,
         geometry=geom,
@@ -31,11 +79,8 @@ def _filter_kernel(queue, name: str, ids: np.ndarray, dropped: np.ndarray) -> Ev
     )
     if ids.size:
         wl.add_stream(ids, 8, REGION_USERDATA, label="filter.read")
-        wl.add_stream(ids // 64, 8, REGION_FRONTIER_IN, label="frontier.words")
-    if dropped.size:
-        wl.add_stream(dropped // 64, 8, REGION_FRONTIER_OUT, is_write=True, label="filter.write")
-        wl.atomics += int(dropped.size)
-        wl.atomic_targets += int(np.unique(dropped // 64).size)
+        charge_frontier_probe(wl, in_frontier, ids, REGION_FRONTIER_IN, "frontier.words")
+    _charge_frontier_write(wl, out_frontier, written, wg_size)
     return queue.submit(wl)
 
 
@@ -50,7 +95,7 @@ def inplace(graph, frontier: Frontier, functor) -> Event:
             frontier.remove(dropped)
     else:
         dropped = np.empty(0, dtype=np.int64)
-    return _filter_kernel(queue, "filter.inplace", ids, dropped)
+    return _filter_kernel(queue, "filter.inplace", frontier, ids, frontier, dropped)
 
 
 def external(graph, in_frontier: Frontier, out_frontier: Frontier, functor) -> Event:
@@ -69,4 +114,4 @@ def external(graph, in_frontier: Frontier, out_frontier: Frontier, functor) -> E
             out_frontier.insert(passed)
     else:
         passed = np.empty(0, dtype=np.int64)
-    return _filter_kernel(queue, "filter.external", ids, passed)
+    return _filter_kernel(queue, "filter.external", in_frontier, ids, out_frontier, passed)

@@ -49,6 +49,15 @@ class TestBellmanFord:
         g, _ = weighted_random
         assert sssp(g, 0).relaxations > 0
 
+    def test_relaxation_count_counts_improved_edges(self, diamond):
+        # 0->1, 0->2, 1->3, 2->3, 3->4 with unit weights.  Iteration 1
+        # improves 1 and 2 (2 relaxations); iteration 2 improves 3 via
+        # BOTH in-edges in the same sweep (2 relaxations); iteration 3
+        # improves 4 (1).  Counting output-frontier vertices instead of
+        # improved edges — the old bug — would report 4, merging the two
+        # concurrent relaxations of vertex 3.
+        assert sssp(diamond, 0).relaxations == 5
+
 
 class TestDeltaStepping:
     def test_matches_dijkstra(self, weighted_random):

@@ -23,12 +23,12 @@ def _cases(*names):
 
 class TestMatrixPasses:
     def test_every_algorithm_layout_backend_cell(self, graph_case):
-        """The full 5 x 4 x 3 matrix agrees on every adversarial case."""
+        """The full 7 x 4 x 3 matrix agrees on every adversarial case."""
         report = run_differential(cases=[graph_case])
         assert report.ok, report.summary()
-        assert report.n_runs == 5 * 4 * 3
+        assert report.n_runs == 7 * 4 * 3
         # oracle diff per run + cross-config diff for all but the first
-        assert report.n_comparisons == report.n_runs * 2 - 5
+        assert report.n_comparisons == report.n_runs * 2 - 7
 
     def test_both_word_widths(self):
         report = run_differential(

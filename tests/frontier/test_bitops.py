@@ -26,6 +26,39 @@ class TestPopcount:
         assert _bitops.count_set_bits(np.empty(0, np.uint64)) == 0
 
 
+class TestPopcountLUTFallback:
+    """The numpy<2 LUT path, forced via monkeypatching the feature flag."""
+
+    @pytest.fixture(autouse=True)
+    def force_fallback(self, monkeypatch):
+        monkeypatch.setattr(_bitops, "_HAS_BITWISE_COUNT", False)
+
+    def test_empty_input(self):
+        # the old shape[0]-based reshape crashed on empty arrays
+        out = _bitops.popcount(np.empty(0, np.uint64))
+        assert out.size == 0 and out.dtype == np.uint64
+        assert _bitops.count_set_bits(np.empty(0, np.uint32)) == 0
+
+    @pytest.mark.parametrize("dtype", [np.uint32, np.uint64])
+    def test_returns_word_dtype(self, dtype):
+        out = _bitops.popcount(np.array([3, 0, 7], dtype=dtype))
+        assert out.dtype == dtype
+        assert list(out) == [2, 0, 3]
+
+    def test_counts_above_255_sum_correctly(self):
+        # per-byte uint8 counts must widen before summing across bytes
+        words = np.full(64, np.uint64(0xFFFFFFFFFFFFFFFF))
+        assert _bitops.count_set_bits(words) == 64 * 64
+
+    @settings(max_examples=30, deadline=None)
+    @given(raw=st.lists(st.integers(0, 2**64 - 1), max_size=32))
+    def test_parity_with_hardware_path(self, raw):
+        words = np.array(raw, dtype=np.uint64)
+        lut = _bitops.popcount(words)
+        expected = [bin(int(w)).count("1") for w in raw]
+        assert list(lut) == expected
+
+
 class TestWordsFor:
     @pytest.mark.parametrize(
         "n,bits,expected", [(1, 64, 1), (64, 64, 1), (65, 64, 2), (64, 32, 2), (1000, 32, 32)]
