@@ -9,6 +9,7 @@ Usage::
     python -m repro all
     python -m repro check --quick          # differential-testing oracle
     python -m repro check --strict --full  # + per-kernel invariant checks
+    python -m repro trace bfs 2lb          # span-traced run -> Perfetto JSON
 
 Environment: ``REPRO_SCALE`` and ``REPRO_SOURCES`` set the defaults.
 """
@@ -41,19 +42,25 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "check"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "check", "trace"],
         help="which table/figure to regenerate ('all' runs everything; "
-        "'check' runs the differential-testing matrix)",
+        "'check' runs the differential-testing matrix; 'trace' runs one "
+        "algorithm with the span tracer and exports a Perfetto JSON)",
     )
     parser.add_argument("--scale", default=None, help="dataset scale: tiny | small | medium")
     parser.add_argument("--sources", type=int, default=None, help="sources per measurement (paper: 200)")
     from repro.checking.cli import add_check_arguments, run_check
+    from repro.obs.cli import add_trace_arguments, run_trace
 
     add_check_arguments(parser)
+    add_trace_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.experiment == "check":
         return run_check(args)
+
+    if args.experiment == "trace":
+        return run_trace(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

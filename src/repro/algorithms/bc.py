@@ -87,53 +87,63 @@ def _brandes_single(
     out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     in_frontier.insert(source)
 
-    # ---- forward: level-synchronous BFS with sigma accumulation --------
-    levels: List[np.ndarray] = [np.array([source], dtype=np.int64)]
-    iteration = 0
-    while not in_frontier.empty():
-        depth = iteration + 1
+    with queue.span("bc", source):
+        # ---- forward: level-synchronous BFS with sigma accumulation ----
+        levels: List[np.ndarray] = [np.array([source], dtype=np.int64)]
+        iteration = 0
+        while not in_frontier.empty():
+            depth = iteration + 1
 
-        def fwd(src, dst, eid, w):
-            unseen = dist[dst] == -1
-            on_level = dist[dst] == depth
-            tree = unseen | on_level
-            np.add.at(sigma, dst[tree], sigma[src][tree])
-            # mark depth immediately so same-level duplicates accumulate
-            # sigma but are admitted to the frontier only once (bitmap)
-            dist[dst[tree]] = depth
-            return tree
+            def fwd(src, dst, eid, w):
+                unseen = dist[dst] == -1
+                on_level = dist[dst] == depth
+                tree = unseen | on_level
+                np.add.at(sigma, dst[tree], sigma[src][tree])
+                # mark depth immediately so same-level duplicates accumulate
+                # sigma but are admitted to the frontier only once (bitmap)
+                dist[dst[tree]] = depth
+                return tree
 
-        advance.frontier(graph, in_frontier, out_frontier, fwd, config).wait()
-        # Sigma/delta accumulation is not idempotent, so BC (unlike BFS)
-        # cannot tolerate duplicate frontier entries: the vector layout
-        # admits one copy per tree edge, and re-expanding a vertex would
-        # double-count its paths.  Rebuild each level from unique ids.
-        level = np.unique(out_frontier.active_elements())
-        if level.size:
-            levels.append(level)
-        in_frontier.clear()
-        in_frontier.insert(level)
-        out_frontier.clear()
-        iteration += 1
+            with queue.span("bc.iter", iteration):
+                tr = queue.tracer
+                if tr is not None:
+                    tr.sample_frontier(in_frontier)
+                advance.frontier(graph, in_frontier, out_frontier, fwd, config).wait()
+                # Sigma/delta accumulation is not idempotent, so BC (unlike
+                # BFS) cannot tolerate duplicate frontier entries: the vector
+                # layout admits one copy per tree edge, and re-expanding a
+                # vertex would double-count its paths.  Rebuild each level
+                # from unique ids.
+                level = np.unique(out_frontier.active_elements())
+                if level.size:
+                    levels.append(level)
+                in_frontier.clear()
+                in_frontier.insert(level)
+                out_frontier.clear()
+                iteration += 1
 
-    # ---- backward: dependency accumulation, deepest level first --------
-    # Edges (u -> v) with dist[v] == dist[u] + 1 contribute to u's
-    # dependency, so each pass advances from the level *above* the one
-    # being settled (its predecessors) with a store-less advance.
-    prev_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+        # ---- backward: dependency accumulation, deepest level first ----
+        # Edges (u -> v) with dist[v] == dist[u] + 1 contribute to u's
+        # dependency, so each pass advances from the level *above* the one
+        # being settled (its predecessors) with a store-less advance.
+        prev_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
 
-    def back(src, dst, eid, w):
-        tree = dist[dst] == dist[src] + 1
-        contrib = sigma[src][tree] / np.maximum(sigma[dst][tree], 1e-300) * (1.0 + delta[dst][tree])
-        np.add.at(delta, src[tree], contrib)
-        return np.zeros(src.size, dtype=bool)
+        def back(src, dst, eid, w):
+            tree = dist[dst] == dist[src] + 1
+            contrib = sigma[src][tree] / np.maximum(sigma[dst][tree], 1e-300) * (1.0 + delta[dst][tree])
+            np.add.at(delta, src[tree], contrib)
+            return np.zeros(src.size, dtype=bool)
 
-    for li in range(len(levels) - 1, 0, -1):
-        prev_frontier.clear()
-        prev_frontier.insert(levels[li - 1])
-        advance.frontier(graph, prev_frontier, None, back, config).wait()
-        iteration += 1
-        queue.memory.tick("bc.back")
+        for li in range(len(levels) - 1, 0, -1):
+            with queue.span("bc.back", li):
+                prev_frontier.clear()
+                prev_frontier.insert(levels[li - 1])
+                tr = queue.tracer
+                if tr is not None:
+                    tr.sample_frontier(prev_frontier)
+                advance.frontier(graph, prev_frontier, None, back, config).wait()
+                iteration += 1
+                queue.memory.tick("bc.back")
 
     dependency = np.asarray(delta).copy()
     dependency[source] = 0.0

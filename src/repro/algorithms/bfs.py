@@ -70,22 +70,27 @@ def bfs(
 
     iteration = 0
     limit = max_iterations if max_iterations is not None else n + 1
-    while not in_frontier.empty() and iteration < limit:
-        advance.frontier(
-            graph,
-            in_frontier,
-            out_frontier,
-            lambda src, dst, eid, w: dist[dst] == UNSEEN,
-            config,
-        ).wait()
-        depth = iteration + 1
-        compute.execute(
-            graph, out_frontier, lambda ids: dist.__setitem__(ids, depth)
-        ).wait()
-        swap(in_frontier, out_frontier)
-        out_frontier.clear()
-        iteration += 1
-        queue.memory.tick(f"bfs.iter{iteration}")
+    with queue.span("bfs", source):
+        while not in_frontier.empty() and iteration < limit:
+            with queue.span("bfs.iter", iteration):
+                tr = queue.tracer
+                if tr is not None:
+                    tr.sample_frontier(in_frontier)
+                advance.frontier(
+                    graph,
+                    in_frontier,
+                    out_frontier,
+                    lambda src, dst, eid, w: dist[dst] == UNSEEN,
+                    config,
+                ).wait()
+                depth = iteration + 1
+                compute.execute(
+                    graph, out_frontier, lambda ids: dist.__setitem__(ids, depth)
+                ).wait()
+                swap(in_frontier, out_frontier)
+                out_frontier.clear()
+                iteration += 1
+                queue.memory.tick(f"bfs.iter{iteration}")
 
     distances = np.asarray(dist).copy()
     queue.free(dist)
@@ -136,47 +141,55 @@ def direction_optimizing_bfs(
     pulling = False
     prev_frontier_size = 1
 
-    while not in_frontier.empty() and iteration <= n:
-        active = in_frontier.active_elements()
-        frontier_edges = int(out_degs[active].sum())
-        unexplored = max(0, total_edges - explored_edges)
-        growing = active.size >= prev_frontier_size
-        # Beamer's heuristics: pull while the frontier is heavy AND still
-        # growing; return to push once it shrinks below n/beta.
-        if not pulling and growing and frontier_edges > unexplored / alpha:
-            pulling = True
-        elif pulling and (active.size < n / beta or not growing):
-            pulling = False
-        prev_frontier_size = active.size
+    with queue.span("dobfs", source):
+        while not in_frontier.empty() and iteration <= n:
+            with queue.span("dobfs.iter", iteration):
+                active = in_frontier.active_elements()
+                frontier_edges = int(out_degs[active].sum())
+                unexplored = max(0, total_edges - explored_edges)
+                growing = active.size >= prev_frontier_size
+                # Beamer's heuristics: pull while the frontier is heavy AND still
+                # growing; return to push once it shrinks below n/beta.
+                if not pulling and growing and frontier_edges > unexplored / alpha:
+                    pulling = True
+                elif pulling and (active.size < n / beta or not growing):
+                    pulling = False
+                prev_frontier_size = active.size
 
-        if pulling:
-            candidates = np.nonzero(np.asarray(dist) == UNSEEN)[0]
-            advance.frontier_pull(
-                csc_graph,
-                in_frontier,
-                out_frontier,
-                lambda src, dst, eid, w: dist[dst] == UNSEEN,
-                candidates,
-                config,
-            ).wait()
-        else:
-            advance.frontier(
-                graph,
-                in_frontier,
-                out_frontier,
-                lambda src, dst, eid, w: dist[dst] == UNSEEN,
-                config,
-            ).wait()
+                tr = queue.tracer
+                if tr is not None:
+                    tr.sample_frontier(in_frontier)
+                    tr.gauge("dobfs.direction", 1.0 if pulling else 0.0)
+                    tr.inc("dobfs.pull_steps" if pulling else "dobfs.push_steps")
 
-        depth = iteration + 1
-        compute.execute(
-            graph, out_frontier, lambda ids: dist.__setitem__(ids, depth)
-        ).wait()
-        explored_edges += int(out_degs[out_frontier.active_elements()].sum())
-        swap(in_frontier, out_frontier)
-        out_frontier.clear()
-        iteration += 1
-        queue.memory.tick(f"dobfs.iter{iteration}")
+                if pulling:
+                    candidates = np.nonzero(np.asarray(dist) == UNSEEN)[0]
+                    advance.frontier_pull(
+                        csc_graph,
+                        in_frontier,
+                        out_frontier,
+                        lambda src, dst, eid, w: dist[dst] == UNSEEN,
+                        candidates,
+                        config,
+                    ).wait()
+                else:
+                    advance.frontier(
+                        graph,
+                        in_frontier,
+                        out_frontier,
+                        lambda src, dst, eid, w: dist[dst] == UNSEEN,
+                        config,
+                    ).wait()
+
+                depth = iteration + 1
+                compute.execute(
+                    graph, out_frontier, lambda ids: dist.__setitem__(ids, depth)
+                ).wait()
+                explored_edges += int(out_degs[out_frontier.active_elements()].sum())
+                swap(in_frontier, out_frontier)
+                out_frontier.clear()
+                iteration += 1
+                queue.memory.tick(f"dobfs.iter{iteration}")
 
     distances = np.asarray(dist).copy()
     queue.free(dist)

@@ -61,25 +61,31 @@ def cc(
     kwargs = layout_bits_kwargs(layout, bits)
     in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
-    # initialization advance: all vertices distribute their labels
-    advance.vertices(graph, out_frontier, _propagate_functor(labels), config).wait()
-    swap(in_frontier, out_frontier)
-    out_frontier.clear()
-
-    iteration = 1
-    limit = max_iterations if max_iterations is not None else n + 1
-    functor = _propagate_functor(labels)
-    while not in_frontier.empty() and iteration < limit:
-        if shortcutting:
-            _shortcut(graph, labels)
-        advance.frontier(graph, in_frontier, out_frontier, functor, config).wait()
+    with queue.span("cc"):
+        with queue.span("cc.init"):
+            # initialization advance: all vertices distribute their labels
+            advance.vertices(graph, out_frontier, _propagate_functor(labels), config).wait()
         swap(in_frontier, out_frontier)
         out_frontier.clear()
-        iteration += 1
-        queue.memory.tick(f"cc.iter{iteration}")
 
-    if shortcutting:
-        _shortcut(graph, labels)
+        iteration = 1
+        limit = max_iterations if max_iterations is not None else n + 1
+        functor = _propagate_functor(labels)
+        while not in_frontier.empty() and iteration < limit:
+            with queue.span("cc.iter", iteration):
+                tr = queue.tracer
+                if tr is not None:
+                    tr.sample_frontier(in_frontier)
+                if shortcutting:
+                    _shortcut(graph, labels)
+                advance.frontier(graph, in_frontier, out_frontier, functor, config).wait()
+                swap(in_frontier, out_frontier)
+                out_frontier.clear()
+                iteration += 1
+                queue.memory.tick(f"cc.iter{iteration}")
+
+        if shortcutting:
+            _shortcut(graph, labels)
     result = np.asarray(labels).copy()
     queue.free(labels)
     return CCResult(labels=result, iterations=iteration)

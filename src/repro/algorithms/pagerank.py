@@ -65,27 +65,33 @@ def pagerank(
 
     residual = np.inf
     it = 0
-    while it < max_iterations and residual > tol:
-        nxt[:] = 0.0
+    with queue.span("pagerank"):
+        while it < max_iterations and residual > tol:
+            with queue.span("pagerank.iter", it):
+                nxt[:] = 0.0
 
-        def scatter(src, dst, eid, w):
-            np.add.at(nxt, dst, ranks[src] * inv_deg[src])
-            return np.zeros(src.size, dtype=bool)
+                def scatter(src, dst, eid, w):
+                    np.add.at(nxt, dst, ranks[src] * inv_deg[src])
+                    return np.zeros(src.size, dtype=bool)
 
-        advance.vertices(graph, None, scatter, config).wait()
+                advance.vertices(graph, None, scatter, config).wait()
 
-        dangling_mass = float(ranks[dangling].sum())
-        base = (1.0 - damping) / n + damping * dangling_mass / n
+                dangling_mass = float(ranks[dangling].sum())
+                base = (1.0 - damping) / n + damping * dangling_mass / n
 
-        def apply(ids):
-            nxt[ids] = base + damping * nxt[ids]
+                def apply(ids):
+                    nxt[ids] = base + damping * nxt[ids]
 
-        compute.execute(graph, all_frontier, apply).wait()
+                compute.execute(graph, all_frontier, apply).wait()
 
-        residual = float(np.abs(np.asarray(nxt) - np.asarray(ranks)).sum())
-        ranks[:] = nxt
-        it += 1
-        queue.memory.tick(f"pr.iter{it}")
+                residual = float(np.abs(np.asarray(nxt) - np.asarray(ranks)).sum())
+                tr = queue.tracer
+                if tr is not None:
+                    tr.sample_frontier(all_frontier)
+                    tr.gauge("pagerank.residual", residual)
+                ranks[:] = nxt
+                it += 1
+                queue.memory.tick(f"pr.iter{it}")
 
     result = np.asarray(ranks).copy()
     queue.free(ranks)

@@ -90,12 +90,20 @@ def sssp(
     # weights; the frontier usually empties far sooner.
     limit = max_iterations if max_iterations is not None else n + 1
     functor = _relax_functor(dist, stats)
-    while not in_frontier.empty() and iteration < limit:
-        advance.frontier(graph, in_frontier, out_frontier, functor, config).wait()
-        swap(in_frontier, out_frontier)
-        out_frontier.clear()
-        iteration += 1
-        queue.memory.tick(f"sssp.iter{iteration}")
+    with queue.span("sssp", source):
+        while not in_frontier.empty() and iteration < limit:
+            with queue.span("sssp.iter", iteration):
+                tr = queue.tracer
+                relaxed_before = stats["relaxations"]
+                if tr is not None:
+                    tr.sample_frontier(in_frontier)
+                advance.frontier(graph, in_frontier, out_frontier, functor, config).wait()
+                if tr is not None:
+                    tr.inc("sssp.relaxations", stats["relaxations"] - relaxed_before)
+                swap(in_frontier, out_frontier)
+                out_frontier.clear()
+                iteration += 1
+                queue.memory.tick(f"sssp.iter{iteration}")
 
     distances = np.asarray(dist).copy()
     queue.free(dist)
@@ -145,44 +153,52 @@ def delta_stepping(
     stats = {"relaxations": 0}
     bucket_idx = 0
     settled = np.zeros(n, dtype=bool)
-    while True:
-        lo, hi = bucket_idx * delta, (bucket_idx + 1) * delta
-        in_bucket = (~settled) & (np.asarray(dist) >= lo) & (np.asarray(dist) < hi)
-        if not in_bucket.any():
-            remaining = (~settled) & np.isfinite(np.asarray(dist))
-            if not remaining.any():
-                break
-            bucket_idx = int(np.asarray(dist)[remaining].min() // delta)
-            continue
-        members = np.nonzero(in_bucket)[0]
-        settled[members] = True
+    with queue.span("delta_stepping", source):
+        while True:
+            lo, hi = bucket_idx * delta, (bucket_idx + 1) * delta
+            in_bucket = (~settled) & (np.asarray(dist) >= lo) & (np.asarray(dist) < hi)
+            if not in_bucket.any():
+                remaining = (~settled) & np.isfinite(np.asarray(dist))
+                if not remaining.any():
+                    break
+                bucket_idx = int(np.asarray(dist)[remaining].min() // delta)
+                continue
+            members = np.nonzero(in_bucket)[0]
+            settled[members] = True
 
-        # light-edge fixpoint inside the bucket: improved destinations that
-        # remain inside the bucket window are reprocessed until quiescence
-        frontier.clear()
-        frontier.insert(members)
-        light = _edge_class_functor(dist, delta, stats, light=True)
-        processed = [members]
-        while not frontier.empty():
-            scratch.clear()
-            advance.frontier(graph, frontier, scratch, light, config).wait()
-            iteration += 1
-            inside = scratch.active_elements()
-            inside = inside[np.asarray(dist)[inside] < hi]
-            settled[inside] = True
-            processed.append(inside)
-            frontier.clear()
-            frontier.insert(inside)
+            with queue.span("delta_stepping.bucket", bucket_idx):
+                tr = queue.tracer
+                relaxed_before = stats["relaxations"]
+                # light-edge fixpoint inside the bucket: improved destinations that
+                # remain inside the bucket window are reprocessed until quiescence
+                frontier.clear()
+                frontier.insert(members)
+                if tr is not None:
+                    tr.sample_frontier(frontier)
+                light = _edge_class_functor(dist, delta, stats, light=True)
+                processed = [members]
+                while not frontier.empty():
+                    scratch.clear()
+                    advance.frontier(graph, frontier, scratch, light, config).wait()
+                    iteration += 1
+                    inside = scratch.active_elements()
+                    inside = inside[np.asarray(dist)[inside] < hi]
+                    settled[inside] = True
+                    processed.append(inside)
+                    frontier.clear()
+                    frontier.insert(inside)
 
-        # heavy edges of every vertex removed from this bucket, once
-        frontier.clear()
-        frontier.insert(np.unique(np.concatenate(processed)))
-        heavy = _edge_class_functor(dist, delta, stats, light=False)
-        scratch.clear()
-        advance.frontier(graph, frontier, scratch, heavy, config).wait()
-        iteration += 1
-        bucket_idx += 1
-        queue.memory.tick(f"dstep.bucket{bucket_idx}")
+                # heavy edges of every vertex removed from this bucket, once
+                frontier.clear()
+                frontier.insert(np.unique(np.concatenate(processed)))
+                heavy = _edge_class_functor(dist, delta, stats, light=False)
+                scratch.clear()
+                advance.frontier(graph, frontier, scratch, heavy, config).wait()
+                iteration += 1
+                if tr is not None:
+                    tr.inc("sssp.relaxations", stats["relaxations"] - relaxed_before)
+                bucket_idx += 1
+                queue.memory.tick(f"dstep.bucket{bucket_idx}")
 
     distances = np.asarray(dist).copy()
     queue.free(dist)

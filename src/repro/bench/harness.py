@@ -35,13 +35,17 @@ def pick_sources(n_vertices: int, count: int, seed: int = 7, out_degrees=None) -
 
     Like Graph500's source sampling, vertices with no outgoing edges are
     excluded when ``out_degrees`` is given (an isolated source measures
-    nothing but launch overhead).
+    nothing but launch overhead).  A graph whose vertices are *all*
+    isolated has no eligible source: the result is empty, rather than
+    silently falling back to uniform sampling over vertices the caller
+    asked to exclude.
     """
     rng = np.random.default_rng(seed)
     if out_degrees is not None:
         candidates = np.nonzero(np.asarray(out_degrees) > 0)[0]
-        if candidates.size:
-            return [int(v) for v in candidates[rng.integers(0, candidates.size, size=count)]]
+        if candidates.size == 0:
+            return []
+        return [int(v) for v in candidates[rng.integers(0, candidates.size, size=count)]]
     return [int(v) for v in rng.integers(0, n_vertices, size=count)]
 
 
@@ -57,6 +61,11 @@ class MeasureResult:
     peak_bytes: int
     peak_l1_hit_rate: float
     peak_occupancy: float
+    #: per-iteration rows from :func:`repro.obs.iteration_breakdown`
+    #: when the measurement ran with ``trace=True``; None otherwise
+    iteration_breakdown: Optional[List[dict]] = None
+    #: why a measurement is empty (e.g. "no eligible sources")
+    note: str = ""
 
     @property
     def median_ns(self) -> float:
@@ -109,12 +118,16 @@ def measure(
     n_sources: Optional[int] = None,
     scale: Optional[str] = None,
     advance_prefix: str = "",
+    trace: bool = False,
 ) -> MeasureResult:
     """Measure one (framework, dataset, algorithm) cell.
 
     Returns ``times_ns`` per source plus preprocessing time, peak memory,
     and the Table 5 hardware metrics (peak L1 hit rate / occupancy over
-    advance-kernel launches).
+    advance-kernel launches).  ``trace=True`` attaches a span tracer to
+    the runner's queue and returns the per-iteration breakdown rows
+    alongside the aggregates (modeled times are identical either way —
+    tracing is observational).
     """
     scale = scale or env_scale()
     count = n_sources if n_sources is not None else env_sources()
@@ -124,7 +137,15 @@ def measure(
         return MeasureResult(framework, dataset, algorithm, [], runner.preprocessing_ns, runner.peak_bytes, 0.0, 0.0)
     out_degrees = np.bincount(coo.src.astype(np.int64), minlength=coo.n_vertices)
     sources = pick_sources(coo.n_vertices, count, out_degrees=out_degrees)
+    note = "no eligible sources" if not sources else ""
+    tracer = runner.queue.enable_tracing() if trace else None
     times = run_sources(runner, algorithm, sources)
+    breakdown = None
+    if tracer is not None:
+        from repro.obs import iteration_breakdown
+
+        breakdown = iteration_breakdown(tracer)
+        runner.queue.disable_tracing()
     prefix = advance_prefix or _ADVANCE_PREFIX.get(framework, "advance")
     return MeasureResult(
         framework=framework,
@@ -135,6 +156,8 @@ def measure(
         peak_bytes=runner.peak_bytes,
         peak_l1_hit_rate=runner.queue.profile.peak_l1_hit_rate(prefix),
         peak_occupancy=runner.queue.profile.peak_occupancy(prefix),
+        iteration_breakdown=breakdown,
+        note=note,
     )
 
 

@@ -61,6 +61,38 @@ def bar_series(label: str, values: Sequence[float], names: Sequence[str], unit: 
     return "\n".join(lines)
 
 
+def format_iteration_breakdown(rows: Sequence[dict], title: str = "") -> str:
+    """Render :func:`repro.obs.iteration_breakdown` rows as an ASCII table.
+
+    One line per algorithm iteration (``*.iter`` / ``*.bucket`` span):
+    modeled start time, kernel time attributed to the iteration's
+    subtree, kernel count, frontier size/occupancy gauges, and the
+    span's scan-cache hit/miss deltas.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no iteration spans recorded)"
+    table_rows = []
+    for r in rows:
+        gauges = r.get("gauges", {})
+        table_rows.append(
+            [
+                r["span"],
+                ns_to_ms(r["start_ns"]),
+                ns_to_ms(r["kernel_ns"]),
+                r["kernels"],
+                int(gauges.get("frontier.size", 0)),
+                gauges.get("frontier.occupancy", 0.0),
+                r.get("scan_hits", 0),
+                r.get("scan_misses", 0),
+            ]
+        )
+    return format_table(
+        ["iteration", "start_ms", "kernel_ms", "kernels", "front.size", "front.occ", "scan.hit", "scan.miss"],
+        table_rows,
+        title=title,
+    )
+
+
 def grouped_bars(
     groups: Sequence[str],
     series: Sequence[str],

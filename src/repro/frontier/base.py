@@ -22,6 +22,36 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sycl.queue import Queue
 
 
+class ScanStats:
+    """Process-wide hit/miss totals for the epoch-memoized frontier scans.
+
+    Incremented on every scan-shaped query (``count`` /
+    ``active_elements`` / ``nonzero_words`` / ``compute_offsets``): a
+    *hit* served a memoized value, a *miss* rescanned the backing
+    storage (including every query while memoization is disabled).
+    The observability layer (:mod:`repro.obs`) samples the running
+    totals per span; the strict-mode coherence replay bypasses
+    ``_memoized`` and therefore never perturbs them.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def snapshot(self) -> tuple:
+        return (self.hits, self.misses)
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+#: the single process-wide scan-cache statistics instance
+SCAN_STATS = ScanStats()
+
+
 class FrontierView(enum.Enum):
     """What kind of elements the frontier holds (Listing 1's template arg)."""
 
@@ -90,12 +120,16 @@ class Frontier(abc.ABC):
         callers — treat them as read-only.
         """
         if not Frontier._memo_enabled:
+            SCAN_STATS.misses += 1
             return self._scan_compute(key)
         if self._scan_cache_epoch != self._epoch:
             self._scan_cache.clear()
             self._scan_cache_epoch = self._epoch
         if key not in self._scan_cache:
+            SCAN_STATS.misses += 1
             self._scan_cache[key] = self._scan_compute(key)
+        else:
+            SCAN_STATS.hits += 1
         return self._scan_cache[key]
 
     def _scan_compute(self, key: str):

@@ -27,11 +27,32 @@ PathLike = Union[str, Path]
 # --------------------------------------------------------------------- #
 # edge list                                                             #
 # --------------------------------------------------------------------- #
+def _check_vertex_range(ids: np.ndarray, n_vertices: int, linenos, what: str) -> None:
+    """Parse-time range check: every id must lie in ``[0, n_vertices)``.
+
+    Raises :class:`GraphFormatError` naming the first offending input
+    line, so a too-small explicit vertex count fails at the reader — with
+    file context — instead of later inside ``COOGraph``.
+    """
+    if ids.size == 0:
+        return
+    bad = np.nonzero((ids < 0) | (ids >= n_vertices))[0]
+    if bad.size:
+        i = int(bad[0])
+        raise GraphFormatError(
+            f"line {linenos[i]}: {what} id {int(ids[i])} out of range for "
+            f"{n_vertices} vertices"
+        )
+
+
 def read_edge_list(path_or_file: Union[PathLike, TextIO], n_vertices: Optional[int] = None) -> COOGraph:
     """Parse a SNAP-style edge list into COO form.
 
     Lines starting with ``#`` or ``%`` are comments.  Two columns give an
-    unweighted graph; a third column is parsed as edge weight.
+    unweighted graph; a third column is parsed as edge weight.  The first
+    data line fixes the column count: a later line that drops the weight
+    column (or grows one) raises :class:`GraphFormatError` naming the
+    line, instead of silently truncating or crashing on a ragged array.
     """
     close = False
     f: TextIO
@@ -42,6 +63,7 @@ def read_edge_list(path_or_file: Union[PathLike, TextIO], n_vertices: Optional[i
         f = path_or_file
     try:
         rows = []
+        linenos = []
         weighted = None
         for lineno, line in enumerate(f, 1):
             line = line.strip()
@@ -52,13 +74,27 @@ def read_edge_list(path_or_file: Union[PathLike, TextIO], n_vertices: Optional[i
                 raise GraphFormatError(f"line {lineno}: expected 'src dst [w]', got {line!r}")
             if weighted is None:
                 weighted = len(parts) >= 3
+            if weighted and len(parts) < 3:
+                raise GraphFormatError(
+                    f"line {lineno}: missing weight column (first data line "
+                    f"had 3 columns), got {line!r}"
+                )
+            if not weighted and len(parts) >= 3:
+                raise GraphFormatError(
+                    f"line {lineno}: unexpected weight column (first data "
+                    f"line had 2 columns), got {line!r}"
+                )
             rows.append(parts[:3] if weighted else parts[:2])
+            linenos.append(lineno)
         if not rows:
             return COOGraph(n_vertices or 0, np.empty(0, np.int64), np.empty(0, np.int64))
         arr = np.array(rows)
         src = arr[:, 0].astype(np.int64)
         dst = arr[:, 1].astype(np.int64)
-        w = arr[:, 2].astype(np.float32) if weighted and arr.shape[1] > 2 else None
+        w = arr[:, 2].astype(np.float32) if weighted else None
+        if n_vertices is not None:
+            _check_vertex_range(src, n_vertices, linenos, "source vertex")
+            _check_vertex_range(dst, n_vertices, linenos, "destination vertex")
         n = n_vertices or int(max(src.max(), dst.max()) + 1)
         return COOGraph(n, src, dst, w)
     finally:
@@ -124,11 +160,22 @@ def read_matrix_market(path_or_file: Union[PathLike, TextIO]) -> COOGraph:
         nrows, ncols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
         n = max(nrows, ncols)
 
-        data = np.loadtxt(f, ndmin=2) if nnz else np.empty((0, 2))
+        # the MM spec allows %-comments anywhere, including between data
+        # lines; without comments="%" loadtxt would choke on them
+        data = np.loadtxt(f, ndmin=2, comments="%") if nnz else np.empty((0, 2))
         if data.shape[0] != nnz:
             raise GraphFormatError(f"expected {nnz} entries, found {data.shape[0]}")
         src = data[:, 0].astype(np.int64) - 1
         dst = data[:, 1].astype(np.int64) - 1
+        for ids, bound, what in ((src, nrows, "row"), (dst, ncols, "column")):
+            if ids.size:
+                bad = np.nonzero((ids < 0) | (ids >= bound))[0]
+                if bad.size:
+                    i = int(bad[0])
+                    raise GraphFormatError(
+                        f"entry {i + 1}: {what} index {int(ids[i]) + 1} out of "
+                        f"declared range 1..{bound}"
+                    )
         w = data[:, 2].astype(np.float32) if (field != "pattern" and data.shape[1] > 2) else None
         coo = COOGraph(n, src, dst, w)
         if symmetry == "symmetric":
@@ -216,8 +263,14 @@ def read_dimacs(path_or_file: Union[PathLike, TextIO]) -> COOGraph:
                     raise GraphFormatError(f"line {lineno}: arc before problem line")
                 if len(parts) < 4:
                     raise GraphFormatError(f"line {lineno}: expected 'a src dst w'")
-                srcs.append(int(parts[1]) - 1)
-                dsts.append(int(parts[2]) - 1)
+                s, d = int(parts[1]), int(parts[2])
+                for v in (s, d):
+                    if not (1 <= v <= n):
+                        raise GraphFormatError(
+                            f"line {lineno}: vertex id {v} out of declared range 1..{n}"
+                        )
+                srcs.append(s - 1)
+                dsts.append(d - 1)
                 ws.append(float(parts[3]))
             else:
                 raise GraphFormatError(f"line {lineno}: unknown record {parts[0]!r}")

@@ -1,0 +1,47 @@
+"""Observability for the simulated runtime: spans, metrics, trace export.
+
+The paper's evaluation reads NCU timelines, per-advance hardware peaks
+(Table 5), and memory-vs-time traces (Figure 9).  This package gives the
+simulator the same lens:
+
+* :mod:`repro.obs.span` — a hierarchical span tracer.  Algorithms open
+  nested spans (``algorithm > iteration > operator``) through
+  :meth:`Queue.span`; every ``Queue.submit`` attributes its
+  :class:`~repro.perfmodel.cost.KernelCost` to the innermost open span,
+  so the modeled timeline carries its *why* (which iteration, which
+  operator) instead of a flat kernel list.
+* :mod:`repro.obs.metrics` — a counters/gauges registry sampled on the
+  modeled timeline: frontier active counts and occupancy per iteration,
+  push/pull direction choices, scan-cache hits/misses, relaxations,
+  memory in use.
+* :mod:`repro.obs.export` — a Perfetto/chrome-trace exporter emitting
+  the span tree as nested ``B``/``E`` events plus ``C`` counter tracks.
+
+Tracing is strictly observational and opt-in: a queue without a tracer
+pays one ``is None`` check per kernel, modeled times are bit-identical
+either way, and ``python -m repro trace <algo> <layout>`` is the
+one-command entry point.
+"""
+
+from repro.obs.export import export_trace, trace_events
+from repro.obs.metrics import Metric, MetricSample, MetricsRegistry
+from repro.obs.span import (
+    NULL_SPAN,
+    KernelEvent,
+    Span,
+    SpanTracer,
+    iteration_breakdown,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "KernelEvent",
+    "Metric",
+    "MetricSample",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "export_trace",
+    "iteration_breakdown",
+    "trace_events",
+]

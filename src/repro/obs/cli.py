@@ -1,0 +1,103 @@
+"""``python -m repro trace`` — run one algorithm traced, export the trace.
+
+Runs a single algorithm/layout pair over a seeded generated graph with
+the hierarchical span tracer attached, writes the Perfetto-loadable
+JSON (:func:`repro.obs.export.export_trace`), and prints the
+per-iteration breakdown table.  CI runs ``python -m repro trace bfs
+2lb`` and uploads the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+#: supported algorithm names (matches the differential matrix)
+TRACE_ALGORITHMS = ("bfs", "dobfs", "sssp", "delta_stepping", "cc", "bc", "pagerank")
+
+#: supported frontier layouts
+TRACE_LAYOUTS = ("2lb", "bitmap", "vector", "boolmap")
+
+#: rmat scale per dataset-scale profile
+_SCALES = {"tiny": 7, "small": 9, "medium": 11}
+
+
+def add_trace_arguments(parser) -> None:
+    """Attach the ``trace`` subcommand's flags to the main parser."""
+    group = parser.add_argument_group("trace options (experiment = 'trace')")
+    group.add_argument(
+        "trace_args",
+        nargs="*",
+        metavar="ALGO LAYOUT",
+        help="algorithm (bfs | dobfs | sssp | delta_stepping | cc | bc | "
+        "pagerank) and frontier layout (2lb | bitmap | vector | boolmap); "
+        "layout defaults to 2lb",
+    )
+    group.add_argument(
+        "--output", default=None,
+        help="trace JSON path (default: <algo>_<layout>_trace.json)",
+    )
+
+
+def run_trace(args) -> int:
+    """Run one traced algorithm and export its span tree; 0 on success."""
+    from repro.algorithms.bc import bc
+    from repro.algorithms.bfs import bfs, direction_optimizing_bfs
+    from repro.algorithms.cc import cc
+    from repro.algorithms.pagerank import pagerank
+    from repro.algorithms.sssp import delta_stepping, sssp
+    from repro.bench.reporting import format_iteration_breakdown
+    from repro.graph.builder import GraphBuilder
+    from repro.graph.generators import rmat
+    from repro.obs import export_trace, iteration_breakdown
+    from repro.sycl import Queue
+
+    if not args.trace_args:
+        print("error: trace needs an algorithm, e.g. 'python -m repro trace bfs 2lb'")
+        return 2
+    algo = args.trace_args[0]
+    layout = args.trace_args[1] if len(args.trace_args) > 1 else "2lb"
+    if algo not in TRACE_ALGORITHMS:
+        print(f"error: unknown algorithm {algo!r}; known: {', '.join(TRACE_ALGORITHMS)}")
+        return 2
+    if layout not in TRACE_LAYOUTS:
+        print(f"error: unknown layout {layout!r}; known: {', '.join(TRACE_LAYOUTS)}")
+        return 2
+
+    scale = args.scale or "tiny"
+    seed = getattr(args, "seed", 0)
+    coo = rmat(_SCALES.get(scale, 7), 8, seed=seed, weighted=True)
+    queue = Queue(capacity_limit=0)
+    builder = GraphBuilder(queue)
+
+    tracer = queue.enable_tracing()
+    if algo == "bfs":
+        graph = builder.to_csr(coo)
+        bfs(graph, 0, layout=layout)
+    elif algo == "dobfs":
+        graph = builder.to_csr(coo)
+        direction_optimizing_bfs(graph, builder.to_csc(coo), 0, layout=layout)
+    elif algo == "sssp":
+        sssp(builder.to_csr(coo), 0, layout=layout)
+    elif algo == "delta_stepping":
+        delta_stepping(builder.to_csr(coo), 0, layout=layout)
+    elif algo == "cc":
+        cc(builder.to_csr(coo.symmetrized()), layout=layout)
+    elif algo == "bc":
+        bc(builder.to_csr(coo), sources=[0], layout=layout)
+    else:
+        pagerank(builder.to_csr(coo), layout=layout, max_iterations=20)
+
+    out = args.output or f"{algo}_{layout}_trace.json"
+    path = export_trace(tracer, out, queue=queue)
+    rows = iteration_breakdown(tracer)
+    print(format_iteration_breakdown(rows, title=f"{algo} / {layout} ({coo.n_vertices} vertices, {coo.n_edges} edges)"))
+    spans = sum(1 for _ in tracer.root.walk()) - 1
+    print(
+        f"\n{spans} spans, {len(rows)} iterations, "
+        f"{queue.elapsed_ns / 1e6:.3f} ms modeled -> {path}"
+    )
+    # sanity: a traced run must attribute every profiled kernel to the tree
+    attributed = tracer.root.kernel_count()
+    profiled = len(queue.profile.costs)
+    if attributed != profiled:
+        print(f"warning: {profiled - attributed} kernels missing from the span tree")
+        return 1
+    return 0

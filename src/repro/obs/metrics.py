@@ -1,0 +1,125 @@
+"""Counters and gauges on the modeled timeline.
+
+A :class:`MetricsRegistry` holds named time series sampled while an
+algorithm runs under tracing.  Two kinds, with Prometheus-style rules:
+
+* **counter** — monotonically non-decreasing (``inc`` with a
+  non-negative delta, or ``observe_total`` with an externally maintained
+  running total).  Regressions raise :class:`MetricsError` immediately:
+  a counter that goes backwards is an instrumentation bug, and the test
+  suite pins this.
+* **gauge** — a point-in-time value that may move either way (frontier
+  occupancy, PageRank residual, bytes in use).
+
+Timestamps are modeled nanoseconds — the span tracer's kernel cursor —
+so every sample lands on the same timeline the trace exporter draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class MetricsError(ValueError):
+    """A metric was used inconsistently (kind clash, counter regression)."""
+
+
+@dataclass
+class MetricSample:
+    """One (modeled-time, value) point of a metric series."""
+
+    ts_ns: float
+    value: float
+
+
+class Metric:
+    """One named series: a counter or a gauge."""
+
+    __slots__ = ("name", "kind", "samples")
+
+    def __init__(self, name: str, kind: str):
+        self.name = name
+        self.kind = kind
+        self.samples: List[MetricSample] = []
+
+    @property
+    def value(self) -> float:
+        """Latest sampled value (0.0 before the first sample)."""
+        return self.samples[-1].value if self.samples else 0.0
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(timestamps_ns, values) arrays for plotting/export."""
+        ts = np.array([s.ts_ns for s in self.samples], dtype=np.float64)
+        vals = np.array([s.value for s in self.samples], dtype=np.float64)
+        return ts, vals
+
+
+class MetricsRegistry:
+    """Named counters and gauges, each a timestamped series."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------ #
+    def _metric(self, name: str, kind: str) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Metric(name, kind)
+        elif metric.kind != kind:
+            raise MetricsError(
+                f"metric {name!r} is a {metric.kind}, not a {kind}"
+            )
+        return metric
+
+    def inc(self, name: str, delta: float = 1.0, ts_ns: float = 0.0) -> float:
+        """Add ``delta`` (>= 0) to a counter; returns the new total."""
+        if delta < 0:
+            raise MetricsError(
+                f"counter {name!r} increment must be non-negative, got {delta}"
+            )
+        metric = self._metric(name, "counter")
+        total = metric.value + delta
+        metric.samples.append(MetricSample(ts_ns, total))
+        return total
+
+    def observe_total(self, name: str, total: float, ts_ns: float = 0.0) -> None:
+        """Record the running total of an externally maintained counter.
+
+        Used for process-wide counters the registry does not own (the
+        frontier scan-cache hit/miss totals): the tracer samples the
+        absolute value, and monotonicity is still enforced.
+        """
+        metric = self._metric(name, "counter")
+        if total < metric.value:
+            raise MetricsError(
+                f"counter {name!r} went backwards: {metric.value} -> {total}"
+            )
+        metric.samples.append(MetricSample(ts_ns, float(total)))
+
+    def gauge(self, name: str, value: float, ts_ns: float = 0.0) -> None:
+        """Record a point-in-time gauge sample."""
+        self._metric(name, "gauge").samples.append(MetricSample(ts_ns, float(value)))
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def counters(self) -> List[Metric]:
+        return [m for _, m in sorted(self._metrics.items()) if m.kind == "counter"]
+
+    def gauges(self) -> List[Metric]:
+        return [m for _, m in sorted(self._metrics.items()) if m.kind == "gauge"]
+
+    def value(self, name: str) -> float:
+        """Latest value of ``name`` (0.0 when never sampled)."""
+        metric = self._metrics.get(name)
+        return metric.value if metric is not None else 0.0

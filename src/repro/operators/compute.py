@@ -26,44 +26,46 @@ def execute(graph, frontier: Frontier, functor, write_bytes: int = 8) -> Event:
     for cost accounting.
     """
     queue = graph.queue
-    ids = frontier.active_elements()
-    if ids.size:
-        functor(ids)
+    with queue.span("compute.execute"):
+        ids = frontier.active_elements()
+        if ids.size:
+            functor(ids)
 
-    if not queue.enable_profiling:
-        return queue.submit(null_workload("compute.execute"))
-    spec = queue.device.spec
-    geom = Range(max(1, ids.size)).resolve(
-        spec.max_workgroup_size // 4, spec.preferred_subgroup_size
-    )
-    wl = KernelWorkload(
-        name="compute.execute",
-        geometry=geom,
-        active_lanes=int(ids.size),
-        instructions_per_lane=6.0,
-    )
-    if ids.size:
-        wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
-    return queue.submit(wl)
+        if not queue.enable_profiling:
+            return queue.submit(null_workload("compute.execute"))
+        spec = queue.device.spec
+        geom = Range(max(1, ids.size)).resolve(
+            spec.max_workgroup_size // 4, spec.preferred_subgroup_size
+        )
+        wl = KernelWorkload(
+            name="compute.execute",
+            geometry=geom,
+            active_lanes=int(ids.size),
+            instructions_per_lane=6.0,
+        )
+        if ids.size:
+            wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
+        return queue.submit(wl)
 
 
 def execute_all(graph, functor, write_bytes: int = 8) -> Event:
     """Apply ``functor`` to **every** vertex (initialization sweeps)."""
     queue = graph.queue
-    n = graph.get_vertex_count()
-    ids = np.arange(n, dtype=np.int64)
-    if n:
-        functor(ids)
-    if not queue.enable_profiling:
-        return queue.submit(null_workload("compute.execute_all"))
-    spec = queue.device.spec
-    geom = Range(max(1, n)).resolve(spec.max_workgroup_size // 4, spec.preferred_subgroup_size)
-    wl = KernelWorkload(
-        name="compute.execute_all",
-        geometry=geom,
-        active_lanes=n,
-        instructions_per_lane=4.0,
-    )
-    if n:
-        wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
-    return queue.submit(wl)
+    with queue.span("compute.execute_all"):
+        n = graph.get_vertex_count()
+        ids = np.arange(n, dtype=np.int64)
+        if n:
+            functor(ids)
+        if not queue.enable_profiling:
+            return queue.submit(null_workload("compute.execute_all"))
+        spec = queue.device.spec
+        geom = Range(max(1, n)).resolve(spec.max_workgroup_size // 4, spec.preferred_subgroup_size)
+        wl = KernelWorkload(
+            name="compute.execute_all",
+            geometry=geom,
+            active_lanes=n,
+            instructions_per_lane=4.0,
+        )
+        if n:
+            wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
+        return queue.submit(wl)

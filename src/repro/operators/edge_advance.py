@@ -64,53 +64,54 @@ def vertices_to_edges(
     _check_view(in_frontier, FrontierView.VERTEX, "V2E input")
     _check_view(out_frontier, FrontierView.EDGE, "V2E output")
 
-    active = in_frontier.active_elements()
-    src, dst, eid, w = graph.gather_neighbors(active)
-    if src.size:
-        mask = as_mask(functor(src, dst, eid, w), src.size, "advance")
-        accepted = eid[mask]
-    else:
-        accepted = np.empty(0, dtype=np.int64)
-    if accepted.size:
-        out_frontier.insert(accepted)
+    with queue.span("advance.v2e"):
+        active = in_frontier.active_elements()
+        src, dst, eid, w = graph.gather_neighbors(active)
+        if src.size:
+            mask = as_mask(functor(src, dst, eid, w), src.size, "advance")
+            accepted = eid[mask]
+        else:
+            accepted = np.empty(0, dtype=np.int64)
+        if accepted.size:
+            out_frontier.insert(accepted)
 
-    if not queue.enable_profiling:
-        return queue.submit(null_workload("advance.v2e"))
-    degrees = graph.out_degrees(active) if active.size else np.empty(0, np.int64)
-    spec = queue.device.spec
-    cap = spec.compute_units * spec.max_workgroups_per_cu
-    shape = characterize_bitmap_advance(
-        params,
-        max(1, -(-max(1, graph.get_vertex_count()) // params.bitmap_bits)),
-        active,
-        degrees,
-        active // params.bitmap_bits,
-        max_workgroups=cap,
-    )
-    wl = KernelWorkload(
-        name="advance.v2e",
-        geometry=shape.geometry,
-        active_lanes=shape.active_lanes,
-        instructions_per_lane=shape.instructions_per_lane,
-        serial_ops=shape.serial_ops,
-        engaged_subgroups=shape.engaged_subgroups,
-    )
-    if eid.size:
-        wl.add_stream(eid, 4, REGION_COL_IDX, label="col_idx")
-        wl.add_stream(dst, config.functor_read_bytes, REGION_USERDATA, label="functor.read")
-    if accepted.size and hasattr(out_frontier, "bits"):
-        words = accepted // out_frontier.bits
-        wl.add_stream(
-            words,
-            out_frontier.words.dtype.itemsize,
-            REGION_FRONTIER_OUT,
-            is_write=True,
-            label="out.edges",
+        if not queue.enable_profiling:
+            return queue.submit(null_workload("advance.v2e"))
+        degrees = graph.out_degrees(active) if active.size else np.empty(0, np.int64)
+        spec = queue.device.spec
+        cap = spec.compute_units * spec.max_workgroups_per_cu
+        shape = characterize_bitmap_advance(
+            params,
+            max(1, -(-max(1, graph.get_vertex_count()) // params.bitmap_bits)),
+            active,
+            degrees,
+            active // params.bitmap_bits,
+            max_workgroups=cap,
         )
-        n_words = int(np.unique(words).size)
-        wl.atomics += n_words
-        wl.atomic_targets += n_words
-    return queue.submit(wl)
+        wl = KernelWorkload(
+            name="advance.v2e",
+            geometry=shape.geometry,
+            active_lanes=shape.active_lanes,
+            instructions_per_lane=shape.instructions_per_lane,
+            serial_ops=shape.serial_ops,
+            engaged_subgroups=shape.engaged_subgroups,
+        )
+        if eid.size:
+            wl.add_stream(eid, 4, REGION_COL_IDX, label="col_idx")
+            wl.add_stream(dst, config.functor_read_bytes, REGION_USERDATA, label="functor.read")
+        if accepted.size and hasattr(out_frontier, "bits"):
+            words = accepted // out_frontier.bits
+            wl.add_stream(
+                words,
+                out_frontier.words.dtype.itemsize,
+                REGION_FRONTIER_OUT,
+                is_write=True,
+                label="out.edges",
+            )
+            n_words = int(np.unique(words).size)
+            wl.atomics += n_words
+            wl.atomic_targets += n_words
+        return queue.submit(wl)
 
 
 def edges_to_vertices(
@@ -126,49 +127,50 @@ def edges_to_vertices(
     _check_view(in_frontier, FrontierView.EDGE, "E2V input")
     _check_view(out_frontier, FrontierView.VERTEX, "E2V output")
 
-    eids = in_frontier.active_elements()
-    if eids.size:
-        src, dst = graph.edge_endpoints(eids)
-        w = (
-            graph.weights[eids]
-            if graph.weights is not None
-            else np.ones(eids.size, dtype=np.float32)
-        )
-        mask = as_mask(functor(src, dst, eids, w), eids.size, "advance")
-        accepted = dst[mask]
-    else:
-        accepted = np.empty(0, dtype=np.int64)
-    if accepted.size:
-        out_frontier.insert(accepted)
+    with queue.span("advance.e2v"):
+        eids = in_frontier.active_elements()
+        if eids.size:
+            src, dst = graph.edge_endpoints(eids)
+            w = (
+                graph.weights[eids]
+                if graph.weights is not None
+                else np.ones(eids.size, dtype=np.float32)
+            )
+            mask = as_mask(functor(src, dst, eids, w), eids.size, "advance")
+            accepted = dst[mask]
+        else:
+            accepted = np.empty(0, dtype=np.int64)
+        if accepted.size:
+            out_frontier.insert(accepted)
 
-    if not queue.enable_profiling:
-        return queue.submit(null_workload("advance.e2v"))
-    spec = queue.device.spec
-    geom = Range(max(1, eids.size)).resolve(
-        spec.max_workgroup_size // 4, spec.preferred_subgroup_size
-    )
-    wl = KernelWorkload(
-        name="advance.e2v",
-        geometry=geom,
-        active_lanes=int(eids.size),
-        instructions_per_lane=10.0,  # row_ptr binary search per edge
-        serial_ops=float(eids.size) * np.log2(max(2, graph.get_vertex_count())),
-    )
-    if eids.size:
-        wl.add_stream(eids, 4, REGION_COL_IDX, label="col_idx")
-        # the edge frontier's own storage, at its actual word width
-        charge_frontier_probe(wl, in_frontier, eids, REGION_FRONTIER_IN, "in.edges")
-        wl.add_stream(src, 4, REGION_ROW_PTR, label="row_ptr.search")
-    if accepted.size and hasattr(out_frontier, "bits"):
-        words = accepted // out_frontier.bits
-        wl.add_stream(
-            words,
-            out_frontier.words.dtype.itemsize,
-            REGION_FRONTIER_OUT,
-            is_write=True,
-            label="out.bitmap",
+        if not queue.enable_profiling:
+            return queue.submit(null_workload("advance.e2v"))
+        spec = queue.device.spec
+        geom = Range(max(1, eids.size)).resolve(
+            spec.max_workgroup_size // 4, spec.preferred_subgroup_size
         )
-        n_words = int(np.unique(words).size)
-        wl.atomics += n_words
-        wl.atomic_targets += n_words
-    return queue.submit(wl)
+        wl = KernelWorkload(
+            name="advance.e2v",
+            geometry=geom,
+            active_lanes=int(eids.size),
+            instructions_per_lane=10.0,  # row_ptr binary search per edge
+            serial_ops=float(eids.size) * np.log2(max(2, graph.get_vertex_count())),
+        )
+        if eids.size:
+            wl.add_stream(eids, 4, REGION_COL_IDX, label="col_idx")
+            # the edge frontier's own storage, at its actual word width
+            charge_frontier_probe(wl, in_frontier, eids, REGION_FRONTIER_IN, "in.edges")
+            wl.add_stream(src, 4, REGION_ROW_PTR, label="row_ptr.search")
+        if accepted.size and hasattr(out_frontier, "bits"):
+            words = accepted // out_frontier.bits
+            wl.add_stream(
+                words,
+                out_frontier.words.dtype.itemsize,
+                REGION_FRONTIER_OUT,
+                is_write=True,
+                label="out.bitmap",
+            )
+            n_words = int(np.unique(words).size)
+            wl.atomics += n_words
+            wl.atomic_targets += n_words
+        return queue.submit(wl)

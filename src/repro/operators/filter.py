@@ -87,15 +87,16 @@ def _filter_kernel(
 def inplace(graph, frontier: Frontier, functor) -> Event:
     """Remove elements for which ``functor(ids)`` is False (Table 2)."""
     queue = graph.queue
-    ids = frontier.active_elements()
-    if ids.size:
-        keep = as_mask(functor(ids), ids.size, "filter")
-        dropped = ids[~keep]
-        if dropped.size:
-            frontier.remove(dropped)
-    else:
-        dropped = np.empty(0, dtype=np.int64)
-    return _filter_kernel(queue, "filter.inplace", frontier, ids, frontier, dropped)
+    with queue.span("filter.inplace"):
+        ids = frontier.active_elements()
+        if ids.size:
+            keep = as_mask(functor(ids), ids.size, "filter")
+            dropped = ids[~keep]
+            if dropped.size:
+                frontier.remove(dropped)
+        else:
+            dropped = np.empty(0, dtype=np.int64)
+        return _filter_kernel(queue, "filter.inplace", frontier, ids, frontier, dropped)
 
 
 def external(graph, in_frontier: Frontier, out_frontier: Frontier, functor) -> Event:
@@ -105,13 +106,14 @@ def external(graph, in_frontier: Frontier, out_frontier: Frontier, functor) -> E
     fresh frontier.
     """
     queue = graph.queue
-    ids = in_frontier.active_elements()
-    out_frontier.clear()
-    if ids.size:
-        keep = as_mask(functor(ids), ids.size, "filter")
-        passed = ids[keep]
-        if passed.size:
-            out_frontier.insert(passed)
-    else:
-        passed = np.empty(0, dtype=np.int64)
-    return _filter_kernel(queue, "filter.external", in_frontier, ids, out_frontier, passed)
+    with queue.span("filter.external"):
+        ids = in_frontier.active_elements()
+        out_frontier.clear()
+        if ids.size:
+            keep = as_mask(functor(ids), ids.size, "filter")
+            passed = ids[keep]
+            if passed.size:
+                out_frontier.insert(passed)
+        else:
+            passed = np.empty(0, dtype=np.int64)
+        return _filter_kernel(queue, "filter.external", in_frontier, ids, out_frontier, passed)

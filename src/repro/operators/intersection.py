@@ -29,12 +29,13 @@ def segmented_intersection(graph, a: Frontier, b: Frontier, out: Frontier) -> Fr
     """
     from repro.frontier.base import make_frontier
 
-    layout = "2lb" if hasattr(out, "words_l2") else "bitmap"
-    na = make_frontier(graph.queue, a.n_elements, a.view, layout=layout)
-    nb = make_frontier(graph.queue, b.n_elements, b.view, layout=layout)
+    with graph.queue.span("intersection.segmented"):
+        layout = "2lb" if hasattr(out, "words_l2") else "bitmap"
+        na = make_frontier(graph.queue, a.n_elements, a.view, layout=layout)
+        nb = make_frontier(graph.queue, b.n_elements, b.view, layout=layout)
 
-    accept_all = lambda src, dst, eid, w: np.ones(src.size, dtype=bool)  # noqa: E731
-    advance.frontier(graph, a, na, accept_all)
-    advance.frontier(graph, b, nb, accept_all)
-    frontier_intersection(na, nb, out)
-    return out
+        accept_all = lambda src, dst, eid, w: np.ones(src.size, dtype=bool)  # noqa: E731
+        advance.frontier(graph, a, na, accept_all)
+        advance.frontier(graph, b, nb, accept_all)
+        frontier_intersection(na, nb, out)
+        return out

@@ -103,6 +103,10 @@ class MemoryManager:
         # benchmark runs pay nothing
         self._guard = 0
         self.poison_on_free = False
+        #: observability hook (repro.obs.span.SpanTracer): receives every
+        #: MemoryEvent so the trace exporter can draw a bytes-in-use
+        #: counter track on the modeled timeline; None by default
+        self.observer = None
 
     # ------------------------------------------------------------------ #
     # strict mode (opt-in; see repro.checking.invariants)                #
@@ -238,8 +242,11 @@ class MemoryManager:
         self._record(nbytes, f"alloc:{label}")
 
     def _record(self, delta: int, label: str) -> None:
-        self.timeline.append(MemoryEvent(self._step, self._in_use, delta, label))
+        event = MemoryEvent(self._step, self._in_use, delta, label)
+        self.timeline.append(event)
         self._step += 1
+        if self.observer is not None:
+            self.observer.on_memory(event)
 
     def tick(self, label: str = "") -> None:
         """Record a timeline sample without changing usage.

@@ -24,9 +24,11 @@ from typing import TYPE_CHECKING, Optional
 from repro.sycl.device import Device, TunedParameters, nvidia_v100s
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.obs.span import SpanTracer
     from repro.perfmodel.cost import KernelWorkload
+from repro.obs.span import NULL_SPAN as _NULL_SPAN
 from repro.sycl.event import Event
-from repro.sycl.memory import MemoryManager
+from repro.sycl.memory import MemoryEvent, MemoryManager
 from repro.sycl.profiling import ProfileLog
 
 
@@ -78,6 +80,10 @@ class Queue:
         #: strict-mode hook (repro.checking.invariants); None by default so
         #: submission pays a single is-None check when checking is off
         self.invariant_checker = None
+        #: observability hook (repro.obs.span.SpanTracer); None by default
+        #: so tracing-off submission pays a single is-None check and the
+        #: modeled timeline is bit-identical either way
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     def submit(self, workload: "KernelWorkload") -> Event:
@@ -88,12 +94,49 @@ class Queue:
             self.profile.record(cost)
         ev = Event(kernel_name=workload.name, seq=self._seq, cost=cost)
         self._seq += 1
+        if self.tracer is not None:
+            self.tracer.on_kernel(workload.name, ev.seq, cost)
         if self.invariant_checker is not None:
             self.invariant_checker.after_kernel(self, workload)
         return ev
 
     def wait(self) -> None:
         """Block until all submitted kernels complete (no-op: in-order sim)."""
+
+    # span tracing ------------------------------------------------------------
+    def enable_tracing(self, tracer: Optional["SpanTracer"] = None) -> "SpanTracer":
+        """Attach a hierarchical span tracer (:mod:`repro.obs`) to this queue.
+
+        Subsequent ``submit()`` calls attribute their kernel cost to the
+        innermost span opened via :meth:`span`, and the memory manager
+        reports its timeline to the tracer's bytes-in-use counter track.
+        Returns the tracer (a fresh one unless provided).
+        """
+        from repro.obs.span import SpanTracer
+
+        self.tracer = tracer or SpanTracer()
+        self.memory.observer = self.tracer
+        # seed the memory counter track with the current resident total
+        self.tracer.on_memory(
+            MemoryEvent(step=-1, total_bytes=self.memory.bytes_in_use, delta=0, label="tracing.enabled")
+        )
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer; the queue returns to the zero-cost path."""
+        self.tracer = None
+        self.memory.observer = None
+
+    def span(self, name: str, arg=None):
+        """Context manager opening a named span on the tracer.
+
+        With tracing off this returns the shared no-op span, so callers
+        can write ``with queue.span("bfs.iter", k):`` unconditionally.
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return _NULL_SPAN
+        return tracer.span(name, arg)
 
     # convenience passthroughs ------------------------------------------------
     def malloc_shared(self, shape, dtype, label: str = "", fill=None):

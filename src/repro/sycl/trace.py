@@ -5,6 +5,11 @@ Dumps a queue's :class:`~repro.sycl.profiling.ProfileLog` as a
 prefix, so the simulated execution can be inspected visually the way the
 paper's authors used NCU timelines.
 
+A queue with a span tracer attached (:meth:`Queue.enable_tracing`)
+exports the hierarchical layout from :mod:`repro.obs.export` instead:
+nested ``B``/``E`` span events plus counter tracks, replacing this
+module's flat back-to-back ``X`` layout.
+
 Usage::
 
     from repro.sycl.trace import export_chrome_trace
@@ -22,11 +27,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def trace_events(queue: "Queue") -> List[dict]:
-    """Build chrome-trace 'X' (complete) events from a queue's profile.
+    """Build chrome-trace events from a queue's profile.
 
-    Kernels are laid out back-to-back on the queue's (in-order) timeline;
-    each event carries the cost-model breakdown as args.
+    Without a tracer, kernels are laid out back-to-back as ``X`` events
+    on the queue's (in-order) timeline, each carrying the cost-model
+    breakdown as args.  With a tracer attached, delegates to the
+    hierarchical span exporter.
     """
+    if queue.tracer is not None:
+        from repro.obs.export import trace_events as span_trace_events
+
+        return span_trace_events(queue.tracer)
     events = []
     cursor_us = 0.0
     for cost in queue.profile.costs:
@@ -56,7 +67,16 @@ def trace_events(queue: "Queue") -> List[dict]:
 
 
 def export_chrome_trace(queue: "Queue", path: Union[str, Path]) -> Path:
-    """Write the queue's kernel timeline as a chrome-trace JSON file."""
+    """Write the queue's kernel timeline as a chrome-trace JSON file.
+
+    Traced queues get the hierarchical span layout (see
+    :func:`repro.obs.export.export_trace`); untraced queues keep the
+    flat per-kernel layout.
+    """
+    if queue.tracer is not None:
+        from repro.obs.export import export_trace
+
+        return export_trace(queue.tracer, path, queue=queue)
     path = Path(path)
     payload = {
         "traceEvents": trace_events(queue),

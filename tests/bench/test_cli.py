@@ -31,6 +31,39 @@ class TestCLI:
             main(["fig99"])
 
 
+class TestTraceCLI:
+    def test_trace_bfs_writes_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "bfs", "2lb", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs / 2lb" in out
+        assert "bfs.iter#0" in out
+        trace = tmp_path / "bfs_2lb_trace.json"
+        assert trace.exists()
+        import json
+
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["ph"] == "B" and e["name"].startswith("bfs.iter#") for e in events)
+        assert any(e["ph"] == "C" and e["name"] == "frontier.size" for e in events)
+
+    def test_trace_output_flag(self, tmp_path):
+        out = tmp_path / "t.json"
+        assert main(["trace", "cc", "vector", "--output", str(out)]) == 0
+        assert out.exists()
+
+    def test_trace_requires_algorithm(self, capsys):
+        assert main(["trace"]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_trace_unknown_algorithm(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().out
+
+    def test_trace_unknown_layout(self, capsys):
+        assert main(["trace", "bfs", "hexmap"]) == 2
+        assert "unknown layout" in capsys.readouterr().out
+
+
 class TestTable1:
     def test_matches_paper(self):
         from repro.bench.experiments import table1_qualitative

@@ -21,8 +21,11 @@ class TestPickSources:
         degs[[3, 7]] = 5
         assert set(pick_sources(100, 10, out_degrees=degs)) <= {3, 7}
 
-    def test_degree_filter_all_isolated_falls_back(self):
-        assert len(pick_sources(100, 4, out_degrees=np.zeros(100))) == 4
+    def test_degree_filter_all_isolated_returns_empty(self):
+        # every vertex excluded -> no eligible source; falling back to
+        # uniform sampling would hand back exactly the vertices the
+        # caller asked to exclude
+        assert pick_sources(100, 4, out_degrees=np.zeros(100)) == []
 
 
 class TestRunSources:
@@ -54,6 +57,18 @@ class TestMeasure:
     def test_median_with_prep(self):
         m = measure("tigr", "kron", "bfs", n_sources=1, scale="tiny")
         assert m.median_with_prep_ns > m.median_ns
+
+    def test_untraced_has_no_breakdown(self):
+        m = measure("sygraph", "kron", "bfs", n_sources=1, scale="tiny")
+        assert m.iteration_breakdown is None
+
+    def test_traced_measure_carries_breakdown(self):
+        plain = measure("sygraph", "kron", "bfs", n_sources=2, scale="tiny")
+        traced = measure("sygraph", "kron", "bfs", n_sources=2, scale="tiny", trace=True)
+        assert traced.iteration_breakdown, "trace=True must attach rows"
+        assert all(r["kernels"] > 0 for r in traced.iteration_breakdown)
+        # tracing is observational: identical modeled times per source
+        assert traced.times_ns == plain.times_ns
 
 
 class TestReporting:

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.bench.reporting import bar_series, format_table, geomean, ns_to_ms
+from repro.bench.reporting import (
+    bar_series,
+    format_iteration_breakdown,
+    format_table,
+    geomean,
+    ns_to_ms,
+)
 
 
 class TestFormatTable:
@@ -34,6 +40,23 @@ class TestBarSeries:
 
     def test_handles_empty(self):
         assert bar_series("label", [], []) == "label"
+
+
+class TestIterationBreakdown:
+    def test_rows_render(self):
+        rows = [
+            {
+                "span": "bfs.iter#0", "start_ns": 0.0, "kernel_ns": 2e6,
+                "kernels": 3, "scan_hits": 2, "scan_misses": 1,
+                "gauges": {"frontier.size": 1.0, "frontier.occupancy": 0.25},
+            },
+        ]
+        out = format_iteration_breakdown(rows, title="bfs")
+        assert out.startswith("bfs\n")
+        assert "bfs.iter#0" in out and "scan.hit" in out
+
+    def test_empty_rows(self):
+        assert "no iteration spans" in format_iteration_breakdown([])
 
 
 class TestUnits:

@@ -43,6 +43,18 @@ class TestReadDimacs:
         with pytest.raises(GraphFormatError):
             read_dimacs(io.StringIO("p max 2 1\na 1 2 1\n"))
 
+    def test_arc_beyond_declared_vertices_rejected_with_line(self):
+        # regression: arcs past the declared n used to surface from
+        # COOGraph (no line context) instead of the parser
+        text = "p sp 3 2\na 1 2 1\na 2 9 1\n"
+        with pytest.raises(GraphFormatError, match="line 3.*id 9 out of declared range"):
+            read_dimacs(io.StringIO(text))
+
+    def test_zero_vertex_id_rejected(self):
+        # ids are 1-based; 0 would silently wrap to -1
+        with pytest.raises(GraphFormatError, match="line 2.*out of declared range"):
+            read_dimacs(io.StringIO("p sp 2 1\na 0 2 1\n"))
+
 
 class TestRoundtrip:
     def test_file_roundtrip(self, tmp_path):

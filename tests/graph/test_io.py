@@ -56,6 +56,37 @@ class TestEdgeList:
         assert np.array_equal(back.dst, orig.dst)
         assert np.allclose(back.weights, orig.weights)
 
+    def test_weighted_then_missing_weight_rejected_with_line(self):
+        # regression: a 2-column row in a weighted file used to build a
+        # ragged array (NumPy ValueError) instead of a format error
+        with pytest.raises(GraphFormatError, match="line 2.*missing weight"):
+            read_edge_list(io.StringIO("0 1 2.5\n1 2\n"))
+
+    def test_unweighted_then_extra_weight_rejected_with_line(self):
+        # regression: a 3-column row in an unweighted file used to have
+        # its weight silently truncated
+        with pytest.raises(GraphFormatError, match="line 3.*unexpected weight"):
+            read_edge_list(io.StringIO("0 1\n1 2\n2 3 0.5\n"))
+
+    def test_mixed_columns_line_number_skips_comments(self):
+        text = "# header\n0 1 1.0\n% note\n\n2 0\n"
+        with pytest.raises(GraphFormatError, match="line 5"):
+            read_edge_list(io.StringIO(text))
+
+    def test_too_small_vertex_count_rejected_at_parse(self):
+        # regression: ids beyond an explicit n_vertices used to surface
+        # (if at all) from COOGraph, with no file context
+        with pytest.raises(GraphFormatError, match="line 2.*out of range"):
+            read_edge_list(io.StringIO("0 1\n1 5\n"), n_vertices=3)
+
+    def test_too_small_vertex_count_names_first_bad_line(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            read_edge_list(io.StringIO("7 0\n0 1\n"), n_vertices=4)
+
+    def test_exact_vertex_count_accepted(self):
+        coo = read_edge_list(io.StringIO("0 1\n1 2\n"), n_vertices=3)
+        assert coo.n_vertices == 3
+
 
 class TestMatrixMarket:
     def test_read_pattern_general(self):
@@ -91,6 +122,44 @@ class TestMatrixMarket:
     def test_wrong_count_rejected(self):
         text = "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n"
         with pytest.raises(GraphFormatError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_comments_between_data_lines(self):
+        # regression: the MM spec allows %-comments anywhere, but loadtxt's
+        # default comment char is '#', so legal files used to raise
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n"
+            "1 2\n"
+            "% interleaved comment\n"
+            "2 3\n"
+        )
+        coo = read_matrix_market(io.StringIO(text))
+        assert list(coo.src) == [0, 1]
+        assert list(coo.dst) == [1, 2]
+
+    def test_comments_between_weighted_data_lines(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 2 3.5\n"
+            "% weights below\n"
+            "2 1 1.5\n"
+        )
+        coo = read_matrix_market(io.StringIO(text))
+        assert list(coo.weights) == [3.5, 1.5]
+
+    def test_entry_beyond_declared_dims_rejected(self):
+        # regression: entries outside the declared size line used to
+        # surface from COOGraph (or not at all), with no entry context
+        text = "%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n4 1\n"
+        with pytest.raises(GraphFormatError, match="entry 2.*row index 4"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_zero_entry_rejected(self):
+        # ids are 1-based per the spec; a 0 would wrap to -1
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"
+        with pytest.raises(GraphFormatError, match="out of declared range"):
             read_matrix_market(io.StringIO(text))
 
     def test_roundtrip(self, tmp_path):

@@ -1,0 +1,104 @@
+"""Trace-export golden tests: tree shape, not timestamps."""
+
+import json
+
+from repro.algorithms.bfs import bfs
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder
+from repro.obs import export_trace, trace_events
+from repro.sycl.trace import export_chrome_trace
+from repro.sycl.trace import trace_events as queue_trace_events
+
+
+def _traced_bfs(queue, layout="2lb"):
+    coo = gen.erdos_renyi(200, 4.0, seed=5)
+    graph = GraphBuilder(queue).to_csr(coo)
+    tracer = queue.enable_tracing()
+    result = bfs(graph, 0, layout=layout)
+    return tracer, result
+
+
+def test_span_events_balance_and_nest(queue):
+    tracer, result = _traced_bfs(queue)
+    events = trace_events(tracer)
+    # every B has a matching E per track, strictly LIFO (proper nesting)
+    stacks = {}
+    max_depth = 0
+    for ev in events:
+        if ev["ph"] == "B":
+            stacks.setdefault(ev["tid"], []).append(ev["name"])
+            max_depth = max(max_depth, len(stacks[ev["tid"]]))
+        elif ev["ph"] == "E":
+            assert stacks[ev["tid"]], f"E without open B on {ev['tid']}"
+            assert stacks[ev["tid"]].pop() == ev["name"]
+    assert all(not s for s in stacks.values()), "unclosed span events"
+    # algorithm > iteration > operator: at least three levels deep
+    assert max_depth >= 3
+
+
+def test_trace_tree_shape_for_bfs(queue):
+    tracer, result = _traced_bfs(queue)
+    events = trace_events(tracer)
+    begins = [e for e in events if e["ph"] == "B"]
+    iter_begins = [e for e in begins if e["name"].startswith("bfs.iter#")]
+    assert len(iter_begins) == result.iterations
+    # iteration spans carry their kernel totals and frontier gauges
+    for ev in iter_begins:
+        assert ev["args"]["kernels"] > 0
+        assert "frontier.size" in ev["args"]
+    # kernels are X events nested on the same track as the algorithm span
+    xs = [e for e in events if e["ph"] == "X"]
+    assert xs and all(e["tid"] == "bfs#0" for e in xs)
+    assert {e["name"] for e in xs} >= {"advance.frontier", "compute.execute"}
+
+
+def test_counter_tracks_present(queue):
+    tracer, _ = _traced_bfs(queue)
+    events = trace_events(tracer)
+    counters = {e["name"] for e in events if e["ph"] == "C"}
+    assert "frontier.size" in counters
+    assert "frontier.occupancy" in counters
+    assert "memory.bytes_in_use" in counters
+    assert "frontier.scan_hits" in counters
+    # counter events carry their value in args keyed by metric name
+    sample = next(e for e in events if e["ph"] == "C" and e["name"] == "frontier.size")
+    assert sample["args"]["frontier.size"] >= 1.0
+
+
+def test_counter_timestamps_monotone(queue):
+    tracer, _ = _traced_bfs(queue)
+    events = trace_events(tracer)
+    for name in ("frontier.size", "memory.bytes_in_use"):
+        ts = [e["ts"] for e in events if e["ph"] == "C" and e["name"] == name]
+        assert ts == sorted(ts)
+
+
+def test_export_trace_file_payload(queue, tmp_path):
+    tracer, result = _traced_bfs(queue)
+    path = export_trace(tracer, tmp_path / "bfs.json", queue=queue)
+    payload = json.loads(path.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    other = payload["otherData"]
+    assert other["modeled_ns"] == queue.elapsed_ns
+    assert other["device"] == queue.device.name
+    assert other["spans"] >= result.iterations
+    assert other["memory_peak_bytes"] > 0
+    assert payload["traceEvents"]
+
+
+def test_queue_trace_module_delegates_when_traced(queue, tmp_path):
+    tracer, _ = _traced_bfs(queue)
+    events = queue_trace_events(queue)
+    assert events == trace_events(tracer)
+    path = export_chrome_trace(queue, tmp_path / "delegated.json")
+    payload = json.loads(path.read_text())
+    assert any(e["ph"] == "B" for e in payload["traceEvents"])
+
+
+def test_queue_trace_module_flat_without_tracer(queue):
+    coo = gen.erdos_renyi(100, 3.0, seed=1)
+    graph = GraphBuilder(queue).to_csr(coo)
+    bfs(graph, 0)
+    events = queue_trace_events(queue)
+    assert events, "untraced queue must keep the flat layout"
+    assert all(e["ph"] == "X" for e in events)

@@ -1,0 +1,74 @@
+"""Counter monotonicity and registry semantics."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Metric, MetricsRegistry
+from repro.obs.metrics import MetricsError
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    assert reg.inc("relax", 3, ts_ns=1.0) == 3
+    assert reg.inc("relax", 2, ts_ns=2.0) == 5
+    ts, vals = reg.get("relax").series()
+    assert list(ts) == [1.0, 2.0]
+    assert list(vals) == [3.0, 5.0]
+    assert reg.value("relax") == 5.0
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    reg.inc("c", 1)
+    with pytest.raises(MetricsError, match="non-negative"):
+        reg.inc("c", -1)
+    assert reg.value("c") == 1.0  # rejected sample was not recorded
+
+
+def test_counter_series_is_monotone():
+    reg = MetricsRegistry()
+    rng = np.random.default_rng(0)
+    for i in range(50):
+        reg.inc("events", float(rng.integers(0, 10)), ts_ns=float(i))
+    _, vals = reg.get("events").series()
+    assert (np.diff(vals) >= 0).all()
+
+
+def test_observe_total_enforces_monotonicity():
+    reg = MetricsRegistry()
+    reg.observe_total("scan_hits", 10, ts_ns=1.0)
+    reg.observe_total("scan_hits", 10, ts_ns=2.0)  # no progress is fine
+    reg.observe_total("scan_hits", 25, ts_ns=3.0)
+    with pytest.raises(MetricsError, match="went backwards"):
+        reg.observe_total("scan_hits", 24, ts_ns=4.0)
+    assert reg.value("scan_hits") == 25.0
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    reg.gauge("residual", 0.5, ts_ns=1.0)
+    reg.gauge("residual", 0.1, ts_ns=2.0)
+    reg.gauge("residual", 0.3, ts_ns=3.0)
+    assert reg.value("residual") == 0.3
+
+
+def test_kind_clash_raises():
+    reg = MetricsRegistry()
+    reg.inc("x")
+    with pytest.raises(MetricsError, match="is a counter"):
+        reg.gauge("x", 1.0)
+    reg.gauge("y", 1.0)
+    with pytest.raises(MetricsError, match="is a gauge"):
+        reg.inc("y")
+
+
+def test_registry_listing():
+    reg = MetricsRegistry()
+    reg.inc("b.counter")
+    reg.gauge("a.gauge", 2.0)
+    assert reg.names() == ["a.gauge", "b.counter"]
+    assert [m.name for m in reg.counters()] == ["b.counter"]
+    assert [m.name for m in reg.gauges()] == ["a.gauge"]
+    assert "a.gauge" in reg and "missing" not in reg
+    assert reg.value("missing") == 0.0
+    assert isinstance(reg.get("b.counter"), Metric)

@@ -1,0 +1,91 @@
+"""Tracing must be purely observational: modeled times bit-identical.
+
+The acceptance bar for the observability layer: attaching a tracer may
+never perturb the cost model.  Each case runs the same algorithm twice —
+tracing off and on — and requires the accumulated modeled nanoseconds to
+be *bit-identical* (``==``, not approx), across every frontier layout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import bfs, direction_optimizing_bfs
+from repro.algorithms.cc import cc
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import delta_stepping, sssp
+from repro.graph import generators as gen
+from repro.graph.builder import GraphBuilder
+from repro.sycl import Queue, get_device
+
+LAYOUTS = ("2lb", "bitmap", "vector", "boolmap")
+
+
+def _fresh(coo):
+    queue = Queue(get_device("v100s"), capacity_limit=0)
+    return queue, GraphBuilder(queue).to_csr(coo)
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_bfs_modeled_ns_identical_with_and_without_tracing(layout):
+    coo = gen.erdos_renyi(300, 5.0, seed=13)
+    q_off, g_off = _fresh(coo)
+    r_off = bfs(g_off, 0, layout=layout)
+
+    q_on, g_on = _fresh(coo)
+    q_on.enable_tracing()
+    r_on = bfs(g_on, 0, layout=layout)
+
+    assert q_on.elapsed_ns == q_off.elapsed_ns  # bit-identical, no approx
+    assert np.array_equal(r_on.distances, r_off.distances)
+    costs_off = [c.time_ns for c in q_off.profile.costs]
+    costs_on = [c.time_ns for c in q_on.profile.costs]
+    assert costs_on == costs_off
+
+
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_sssp_modeled_ns_identical(layout):
+    coo = gen.erdos_renyi(200, 4.0, seed=21, weighted=True)
+    q_off, g_off = _fresh(coo)
+    sssp(g_off, 0, layout=layout)
+    q_on, g_on = _fresh(coo)
+    q_on.enable_tracing()
+    sssp(g_on, 0, layout=layout)
+    assert q_on.elapsed_ns == q_off.elapsed_ns
+
+
+def test_remaining_algorithms_modeled_ns_identical():
+    coo = gen.erdos_renyi(150, 4.0, seed=8, weighted=True)
+    sym = coo.symmetrized()
+
+    def run(traced):
+        out = {}
+        q, g = _fresh(coo)
+        gc = GraphBuilder(q).to_csc(coo)
+        if traced:
+            q.enable_tracing()
+        direction_optimizing_bfs(g, gc, 0)
+        out["dobfs"] = q.elapsed_ns
+        q, g = _fresh(coo)
+        if traced:
+            q.enable_tracing()
+        delta_stepping(g, 0)
+        out["delta_stepping"] = q.elapsed_ns
+        q, g = _fresh(sym)
+        if traced:
+            q.enable_tracing()
+        cc(g)
+        out["cc"] = q.elapsed_ns
+        q, g = _fresh(coo)
+        if traced:
+            q.enable_tracing()
+        pagerank(g, max_iterations=10)
+        out["pagerank"] = q.elapsed_ns
+        return out
+
+    assert run(traced=True) == run(traced=False)
+
+
+def test_null_span_is_shared_and_allocation_free(queue):
+    s1 = queue.span("a")
+    s2 = queue.span("b", 3)
+    assert s1 is s2, "disabled tracing must hand out the shared NULL_SPAN"
