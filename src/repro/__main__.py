@@ -10,6 +10,7 @@ Usage::
     python -m repro check --quick          # differential-testing oracle
     python -m repro check --strict --full  # + per-kernel invariant checks
     python -m repro trace bfs 2lb          # span-traced run -> Perfetto JSON
+    python -m repro serve-sim --seed 7     # multi-tenant load simulation
 
 Environment: ``REPRO_SCALE`` and ``REPRO_SOURCES`` set the defaults.
 """
@@ -42,18 +43,21 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "check", "trace"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "check", "trace", "serve-sim"],
         help="which table/figure to regenerate ('all' runs everything; "
         "'check' runs the differential-testing matrix; 'trace' runs one "
-        "algorithm with the span tracer and exports a Perfetto JSON)",
+        "algorithm with the span tracer and exports a Perfetto JSON; "
+        "'serve-sim' runs the multi-tenant serving simulation)",
     )
     parser.add_argument("--scale", default=None, help="dataset scale: tiny | small | medium")
     parser.add_argument("--sources", type=int, default=None, help="sources per measurement (paper: 200)")
     from repro.checking.cli import add_check_arguments, run_check
     from repro.obs.cli import add_trace_arguments, run_trace
+    from repro.service.cli import add_serve_arguments, run_serve
 
     add_check_arguments(parser)
     add_trace_arguments(parser)
+    add_serve_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.experiment == "check":
@@ -61,6 +65,9 @@ def main(argv=None) -> int:
 
     if args.experiment == "trace":
         return run_trace(args)
+
+    if args.experiment == "serve-sim":
+        return run_serve(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -16,6 +16,38 @@ def geomean(values: Iterable[float]) -> float:
     return float(np.exp(np.mean(np.log(vals))))
 
 
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 on empty input.
+
+    Nearest-rank rather than interpolating: every reported latency is an
+    actually observed one, and the result is bitwise-deterministic — what
+    the service golden files and determinism tests require.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    rank = max(1, -(-int(q * len(ordered)) // 100))  # ceil(q/100 * n), floored at 1
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def latency_summary(values_ns: Iterable[float]) -> dict:
+    """Count + p50/p95/p99/max/mean (ms) of a latency sample, per the
+    serving-layer reporting convention (modeled ns in, ms out)."""
+    vals = [float(v) for v in values_ns]
+    if not vals:
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0, "mean_ms": 0.0}
+    return {
+        "count": len(vals),
+        "p50_ms": ns_to_ms(percentile(vals, 50)),
+        "p95_ms": ns_to_ms(percentile(vals, 95)),
+        "p99_ms": ns_to_ms(percentile(vals, 99)),
+        "max_ms": ns_to_ms(max(vals)),
+        "mean_ms": ns_to_ms(sum(vals) / len(vals)),
+    }
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
     """Render an aligned ASCII table."""
     cols = [[str(h)] for h in headers]

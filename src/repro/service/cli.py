@@ -1,0 +1,211 @@
+"""``python -m repro serve-sim`` — deterministic load simulation.
+
+Generates a seeded workload (Poisson arrivals, Zipf graph popularity,
+mixed algorithms/priorities), serves it through the
+:class:`~repro.service.scheduler.QueryScheduler` over a configurable
+device pool, and prints a report of throughput, per-priority latency
+percentiles, service counters and per-worker utilization — **entirely in
+modeled time**, so two runs with the same arguments are byte-identical
+(CI diffs the smoke report against a checked-in golden file).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.service.request import PRIORITIES, RequestStatus, priority_name
+
+
+def add_serve_arguments(parser) -> None:
+    """Attach the ``serve-sim`` subcommand's flags to the main parser."""
+    group = parser.add_argument_group("serve-sim options (experiment = 'serve-sim')")
+    group.add_argument(
+        "--pool", default="v100s:2,mi100:1",
+        help="device pool as name:count pairs, comma-separated "
+        "(names: v100s | max1100 | max1100-opencl | mi100)",
+    )
+    group.add_argument(
+        "--requests", type=int, default=200, help="workload size (default 200)"
+    )
+    group.add_argument(
+        "--interarrival-us", type=float, default=2.0,
+        help="mean Poisson inter-arrival time, modeled µs (default 2, "
+        "which keeps a multi-device pool contended)",
+    )
+    group.add_argument(
+        "--queue-depth", type=int, default=64, help="admission queue bound (default 64)"
+    )
+    group.add_argument(
+        "--batch", type=int, default=4, help="max same-graph batch size (default 4)"
+    )
+    group.add_argument(
+        "--spot-check", type=int, default=0, metavar="N",
+        help="re-verify every Nth completion against the oracle (0 = off)",
+    )
+    group.add_argument(
+        "--fault-fraction", type=float, default=0.0,
+        help="fraction of requests whose first attempt fails (retry path)",
+    )
+    group.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="per-request deadline in modeled ms (default: none)",
+    )
+    group.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fixed preset for the CI golden-file diff "
+        "(overrides --requests/--scale)",
+    )
+    group.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the full report as JSON (CI artifact)",
+    )
+
+
+def parse_pool(spec: str) -> List[str]:
+    """``"v100s:2,mi100:1"`` → ``["v100s", "v100s", "mi100"]``."""
+    names: List[str] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition(":")
+        n = int(count) if count else 1
+        if n < 1:
+            raise ValueError(f"pool count must be >= 1 in {part!r}")
+        names.extend([name] * n)
+    if not names:
+        raise ValueError(f"empty pool spec {spec!r}")
+    return names
+
+
+def render_report(report, args_line: str) -> str:
+    """Deterministic plain-text serving report (modeled values only)."""
+    from repro.bench.reporting import format_table, latency_summary, ns_to_ms
+
+    lines = [args_line, ""]
+    counters = [[m.name, int(m.value)] for m in report.metrics.counters()]
+    lines.append(format_table(["counter", "total"], counters, title="service counters"))
+    lines.append("")
+
+    lat = report.latencies_by_priority()
+    rows = []
+    for prio in sorted(lat):
+        s = latency_summary(lat[prio])
+        rows.append(
+            [
+                priority_name(prio),
+                s["count"],
+                f"{s['p50_ms']:.4f}",
+                f"{s['p95_ms']:.4f}",
+                f"{s['p99_ms']:.4f}",
+                f"{s['max_ms']:.4f}",
+            ]
+        )
+    lines.append(
+        format_table(
+            ["priority", "completed", "p50_ms", "p95_ms", "p99_ms", "max_ms"],
+            rows,
+            title="latency by priority (modeled ms)",
+        )
+    )
+    lines.append("")
+
+    makespan = report.makespan_ns
+    wrows = [
+        [
+            w["worker"],
+            w["device"],
+            w["dispatched"],
+            f"{ns_to_ms(w['busy_ns']):.4f}",
+            f"{100.0 * w['busy_ns'] / makespan:.1f}%" if makespan > 0 else "-",
+            w["graphs_cached"],
+        ]
+        for w in report.workers
+    ]
+    lines.append(
+        format_table(
+            ["worker", "device", "batches", "busy_ms", "util", "graphs"],
+            wrows,
+            title="worker pool",
+        )
+    )
+    lines.append("")
+    speedup = report.serialized_ns / makespan if makespan > 0 else 0.0
+    lines.append(f"makespan      {ns_to_ms(makespan):.4f} ms (modeled)")
+    lines.append(f"serialized    {ns_to_ms(report.serialized_ns):.4f} ms (one in-order queue, same trace)")
+    lines.append(f"speedup       {speedup:.2f}x")
+    lines.append(f"throughput    {report.throughput_rps:.1f} req/s (modeled)")
+    return "\n".join(lines)
+
+
+def report_json(report, meta: dict) -> dict:
+    """JSON-serializable report (the CI artifact)."""
+    from repro.bench.reporting import latency_summary
+
+    lat = report.latencies_by_priority()
+    return {
+        "meta": meta,
+        "counters": {m.name: m.value for m in report.metrics.counters()},
+        "latency_by_priority": {priority_name(p): latency_summary(v) for p, v in lat.items()},
+        "workers": report.workers,
+        "makespan_ns": report.makespan_ns,
+        "serialized_ns": report.serialized_ns,
+        "throughput_rps": report.throughput_rps,
+        "timeline": [list(t) for t in report.timeline()],
+        "statuses": {
+            s.value: len(report.by_status(s)) for s in RequestStatus
+        },
+    }
+
+
+def run_serve(args) -> int:
+    """Run one serving simulation; prints the report, 0 on success."""
+    from repro.service.scheduler import QueryScheduler, SchedulerConfig
+    from repro.service.workload import WorkloadConfig, default_catalog, generate_workload
+
+    seed = getattr(args, "seed", 0) or 0
+    if args.smoke:
+        scale, n_requests = "tiny", 60
+    else:
+        scale = args.scale or "small"
+        n_requests = args.requests
+    pool = parse_pool(args.pool)
+    catalog = default_catalog(seed=seed, scale=scale)
+    timeout_ns = args.timeout_ms * 1e6 if args.timeout_ms else None
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(
+            n_requests=n_requests,
+            mean_interarrival_ns=args.interarrival_us * 1e3,
+            fault_fraction=args.fault_fraction,
+            timeout_ns=timeout_ns,
+        ),
+        seed=seed,
+    )
+    config = SchedulerConfig(
+        max_queue_depth=args.queue_depth,
+        max_batch=args.batch,
+        spot_check_every=args.spot_check,
+    )
+    scheduler = QueryScheduler(pool=pool, catalog=catalog, config=config)
+    report = scheduler.run(workload)
+
+    meta = {
+        "seed": seed,
+        "scale": scale,
+        "pool": args.pool,
+        "requests": n_requests,
+        "interarrival_us": args.interarrival_us,
+        "priorities": list(PRIORITIES),
+    }
+    args_line = (
+        f"serve-sim seed={seed} scale={scale} pool={args.pool} "
+        f"requests={n_requests} interarrival={args.interarrival_us:g}us"
+    )
+    print(render_report(report, args_line))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(report_json(report, meta), fh, indent=2, sort_keys=True)
+        print(f"\n[report written to {args.report}]")
+    return 0

@@ -1,0 +1,508 @@
+"""The multi-tenant query scheduler: simulated-time serving loop.
+
+The :class:`QueryScheduler` turns the repo's one-shot algorithm calls
+into a *service*: a stream of :class:`~repro.service.request.Request`
+objects is admitted, queued, batched, dispatched across a pool of
+per-device SYCL queues, retried on transient failure, and completed —
+all on the **modeled** clock, so an entire serving trace is a
+deterministic function of (pool, catalog, trace, config).
+
+The moving parts, in dispatch order:
+
+* **Admission control** — the pending queue is bounded
+  (``max_queue_depth``).  A full queue sheds the *worst* pending request
+  (lowest priority, then latest arrival) if the newcomer outranks it,
+  else rejects the newcomer: backpressure for free traffic, graceful
+  degradation for paid traffic.
+* **Batching** — an idle worker takes up to ``max_batch`` pending
+  requests sharing ``(graph, algorithm, layout, bits)``.  The worker's
+  :class:`~repro.service.dispatch.GraphBundle` cache means the batch
+  pays the graph build once; batch members complete in sequence on the
+  worker's in-order queue.
+* **Overlap accounting** — a dispatch that shares its device with other
+  busy workers is discounted by
+  :func:`repro.sycl.concurrency.overlap_factor`, the incremental form of
+  ``overlapped_makespan``'s same-device shrink; different devices run
+  fully concurrently.
+* **Deadlines** — a request still queued past ``arrival + timeout`` is
+  dropped (TIMED_OUT, never executed); one that finishes past its
+  deadline is completed-but-discarded (also TIMED_OUT).
+* **Retry with backoff** — transient faults (injected, OOM) re-enqueue
+  the request at ``now + backoff · 2^(attempt-1)`` up to
+  ``max_retries``, then FAIL it.
+* **Differential spot-check** — every ``spot_check_every``-th completed
+  request is re-verified against the pure-Python oracle; a divergence
+  FAILs the request loudly instead of returning corrupt data.
+
+Observability: every request carries a ``service.request > dispatch >
+<algorithm>`` span on its worker's tracer when tracing is enabled, and a
+:class:`~repro.obs.metrics.MetricsRegistry` accumulates the service
+counters (admitted/rejected/shed/timed-out/retried/failed/completed,
+batches, spot-checks) plus a queue-depth gauge — all timestamped on the
+simulated clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError, SYgraphError
+from repro.obs.metrics import MetricsRegistry
+from repro.service.dispatch import (
+    DispatchError,
+    DispatchRegistry,
+    GraphBundle,
+    default_registry,
+    verify_result,
+)
+from repro.service.request import PRIORITIES, Request, RequestRecord, RequestStatus
+from repro.service.workload import GraphSpec
+from repro.sycl.concurrency import SAME_DEVICE_OVERLAP, overlap_factor
+from repro.sycl.device import Device, get_device
+from repro.sycl.queue import Queue
+
+
+class TransientFault(SYgraphError):
+    """Injected execution fault (a request's ``fail_attempts`` budget)."""
+
+
+@dataclass
+class SchedulerConfig:
+    """Serving policy knobs (all times in modeled ns)."""
+
+    #: bound on the pending queue; arrivals beyond it shed or reject
+    max_queue_depth: int = 64
+    #: max requests dispatched as one same-graph batch
+    max_batch: int = 4
+    #: transient-failure retries before a request FAILs
+    max_retries: int = 2
+    #: base retry backoff; attempt k waits backoff · 2^(k-1)
+    backoff_ns: float = 100_000.0
+    #: default deadline per priority class (None = no deadline)
+    timeout_ns: Tuple[Optional[float], ...] = (None, None, None)
+    #: verify every Nth completion against the oracle (0 = off)
+    spot_check_every: int = 0
+    #: same-device overlap efficiency (see repro.sycl.concurrency)
+    overlap: float = SAME_DEVICE_OVERLAP
+    #: modeled time a faulting attempt occupies its worker before failing
+    fault_service_ns: float = 20_000.0
+    #: enable strict-mode memory guards + poisoned frees on every worker
+    strict: bool = False
+    #: attach a span tracer per worker (request > dispatch > algorithm)
+    trace: bool = False
+
+    def timeout_for(self, priority: int) -> Optional[float]:
+        if not self.timeout_ns:
+            return None
+        idx = max(0, min(priority, len(self.timeout_ns) - 1))
+        return self.timeout_ns[idx]
+
+
+class Worker:
+    """One dispatch slot: a SYCL queue bound to a pooled device."""
+
+    def __init__(self, wid: int, device: Device, device_name: str, config: SchedulerConfig):
+        self.wid = wid
+        self.device = device
+        self.device_name = device_name
+        self.queue = Queue(device)
+        self.busy_until = 0.0
+        self.busy_ns = 0.0  # effective (overlap-discounted) busy time
+        self.dispatched = 0
+        self.bundles: Dict[str, GraphBundle] = {}
+        if config.strict:
+            self.queue.memory.enable_strict(guard=4, poison=True)
+        if config.trace:
+            self.queue.enable_tracing()
+
+    def bundle_for(self, spec: GraphSpec) -> GraphBundle:
+        bundle = self.bundles.get(spec.name)
+        if bundle is None:
+            bundle = self.bundles[spec.name] = GraphBundle(spec.name, spec.coo, self.queue)
+        return bundle
+
+
+@dataclass
+class ServiceReport:
+    """Everything one serving run produced, on the modeled clock."""
+
+    records: List[RequestRecord]
+    makespan_ns: float
+    serialized_ns: float
+    metrics: MetricsRegistry
+    workers: List[dict] = field(default_factory=list)
+
+    def by_status(self, status: RequestStatus) -> List[RequestRecord]:
+        return [r for r in self.records if r.status is status]
+
+    def completed(self) -> List[RequestRecord]:
+        return self.by_status(RequestStatus.COMPLETED)
+
+    def latencies_by_priority(self) -> Dict[int, List[float]]:
+        """Completed-request latencies (ns) keyed by numeric priority."""
+        out: Dict[int, List[float]] = {p: [] for p in range(len(PRIORITIES))}
+        for r in self.completed():
+            out.setdefault(r.priority, []).append(r.latency_ns)
+        return out
+
+    def timeline(self) -> List[tuple]:
+        """Deterministic completion timeline, ordered by (finish, id)."""
+        done = sorted(self.records, key=lambda r: (r.finish_ns, r.req_id))
+        return [r.timeline_tuple() for r in done]
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per modeled second."""
+        if self.makespan_ns <= 0:
+            return 0.0
+        return len(self.completed()) / (self.makespan_ns / 1e9)
+
+
+#: event kinds, ordered so same-timestamp completions precede arrivals —
+#: a freed worker is visible to work arriving at the same instant
+_COMPLETION, _ARRIVAL = 0, 1
+
+
+class QueryScheduler:
+    """Event-driven scheduler over a pool of per-device queues.
+
+    Parameters
+    ----------
+    pool:
+        Device names (``repro.sycl.device.get_device``), one worker per
+        entry; repeated names model multiple queues per physical device
+        (their dispatches overlap per ``config.overlap``).
+    catalog:
+        Graph specs requests may name.
+    config / registry:
+        Policy knobs and the algorithm dispatch table.
+    """
+
+    def __init__(
+        self,
+        pool: Sequence[str] = ("v100s",),
+        catalog: Optional[Sequence[GraphSpec]] = None,
+        config: Optional[SchedulerConfig] = None,
+        registry: Optional[DispatchRegistry] = None,
+    ):
+        if not pool:
+            raise ValueError("pool must name at least one device")
+        self.config = config or SchedulerConfig()
+        self.registry = registry or default_registry()
+        self.catalog: Dict[str, GraphSpec] = {s.name: s for s in (catalog or [])}
+        # one Device instance per distinct name: same-name workers share
+        # the physical device (and its spec), so overlap grouping sees them
+        devices: Dict[str, Device] = {}
+        self.workers: List[Worker] = []
+        for wid, name in enumerate(pool):
+            dev = devices.setdefault(name, get_device(name))
+            self.workers.append(Worker(wid, dev, name, self.config))
+        self.metrics = MetricsRegistry()
+        self._pending: List[Request] = []
+        self._records: Dict[int, RequestRecord] = {}
+        self._completions = 0
+
+    # ------------------------------------------------------------------ #
+    # serving loop                                                       #
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Sequence[Request]) -> ServiceReport:
+        """Serve one request trace to drain; returns the full report."""
+        self._pending = []
+        self._records = {}
+        self._completions = 0
+        for worker in self.workers:
+            # scheduling state is per-run; the graph bundle caches are not
+            worker.busy_until = 0.0
+            worker.busy_ns = 0.0
+            worker.dispatched = 0
+        events: List[tuple] = []
+        seq = 0
+        for req in requests:
+            if req.graph not in self.catalog:
+                raise KeyError(f"request {req.req_id} names unknown graph {req.graph!r}")
+            req.attempts = 0
+            heapq.heappush(events, (req.arrival_ns, _ARRIVAL, seq, req))
+            seq += 1
+
+        while events:
+            # drain every event at this timestamp before dispatching, so
+            # simultaneous arrivals contend on priority, not heap order
+            now = events[0][0]
+            while events and events[0][0] == now:
+                _, kind, _, payload = heapq.heappop(events)
+                if kind == _ARRIVAL:
+                    self._admit(payload, now)
+                else:
+                    seq = self._complete(payload, now, events, seq)
+            seq = self._dispatch_idle(now, events, seq)
+            self.metrics.gauge("service.queue_depth", len(self._pending), now)
+
+        records = sorted(self._records.values(), key=lambda r: r.req_id)
+        makespan = max((r.finish_ns for r in records), default=0.0)
+        return ServiceReport(
+            records=records,
+            makespan_ns=makespan,
+            serialized_ns=self._serialized_makespan(records),
+            metrics=self.metrics,
+            workers=[
+                {
+                    "worker": w.wid,
+                    "device": w.device_name,
+                    "dispatched": w.dispatched,
+                    "busy_ns": w.busy_ns,
+                    "graphs_cached": len(w.bundles),
+                }
+                for w in self.workers
+            ],
+        )
+
+    # ------------------------------------------------------------------ #
+    # admission                                                          #
+    # ------------------------------------------------------------------ #
+    def _admit(self, req: Request, now: float) -> None:
+        if len(self._pending) >= self.config.max_queue_depth:
+            victim = max(self._pending, key=lambda r: (r.priority, r.arrival_ns, r.req_id))
+            if (victim.priority, victim.arrival_ns) > (req.priority, req.arrival_ns):
+                # shed the worst queued request to admit the newcomer
+                self._pending.remove(victim)
+                self._finalize(
+                    victim, RequestStatus.SHED, now,
+                    reason="shed for higher-priority admission",
+                )
+                self.metrics.inc("service.shed", 1.0, now)
+            else:
+                self._finalize(req, RequestStatus.REJECTED, now, reason="queue full")
+                self.metrics.inc("service.rejected", 1.0, now)
+                return
+        self._pending.append(req)
+        if req.attempts == 0:
+            self.metrics.inc("service.admitted", 1.0, now)
+
+    # ------------------------------------------------------------------ #
+    # dispatch                                                           #
+    # ------------------------------------------------------------------ #
+    def _dispatch_idle(self, now: float, events: List[tuple], seq: int) -> int:
+        for worker in self.workers:
+            if worker.busy_until > now:
+                continue
+            while worker.busy_until <= now and self._pending:
+                batch = self._pick_batch(now)
+                if not batch:
+                    break
+                seq = self._dispatch(worker, batch, now, events, seq)
+        return seq
+
+    def _expire(self, now: float) -> None:
+        """Drop pending requests already past their deadline."""
+        still = []
+        for req in self._pending:
+            timeout = req.timeout_ns
+            if timeout is None:
+                timeout = self.config.timeout_for(req.priority)
+            if timeout is not None and now > req.arrival_ns + timeout:
+                self._finalize(
+                    req, RequestStatus.TIMED_OUT, now, reason="deadline passed in queue"
+                )
+                self.metrics.inc("service.timed_out", 1.0, now)
+            else:
+                still.append(req)
+        self._pending = still
+
+    def _pick_batch(self, now: float) -> List[Request]:
+        """Head-of-line request plus compatible same-graph companions."""
+        self._expire(now)
+        if not self._pending:
+            return []
+        head = min(self._pending, key=Request.sort_key)
+        key = head.batch_key()
+        companions = sorted(
+            (r for r in self._pending if r is not head and r.batch_key() == key),
+            key=Request.sort_key,
+        )
+        batch = [head] + companions[: self.config.max_batch - 1]
+        for r in batch:
+            self._pending.remove(r)
+        return batch
+
+    def _dispatch(
+        self, worker: Worker, batch: List[Request], now: float, events: List[tuple], seq: int
+    ) -> int:
+        spec = self.catalog[batch[0].graph]
+        bundle = worker.bundle_for(spec)
+        # same-device overlap: count this device's busy workers, this
+        # dispatch included (overlapped_makespan's incremental form)
+        active = 1 + sum(
+            1
+            for w in self.workers
+            if w is not worker and w.busy_until > now and id(w.device.spec) == id(worker.device.spec)
+        )
+        factor = overlap_factor(active, self.config.overlap)
+        batch_id = worker.dispatched
+        worker.dispatched += 1
+        self.metrics.inc("service.batches", 1.0, now)
+        if len(batch) > 1:
+            self.metrics.inc("service.batched_requests", float(len(batch) - 1), now)
+
+        start = now
+        for req in batch:
+            req.attempts += 1
+            result, raw_ns, error = self._execute(worker, bundle, req)
+            effective = raw_ns * factor
+            finish = start + effective
+            worker.busy_ns += effective
+            rec = self._record_for(req)
+            rec.start_ns = start
+            rec.service_ns = raw_ns
+            rec.attempts = req.attempts
+            rec.worker = worker.wid
+            rec.batch_id = batch_id
+            heapq.heappush(
+                events, (finish, _COMPLETION, seq, (req, result, error, raw_ns))
+            )
+            seq += 1
+            start = finish
+        worker.busy_until = start
+        return seq
+
+    def _execute(self, worker: Worker, bundle: GraphBundle, req: Request):
+        """Run one attempt on the worker's queue; never leaks allocations.
+
+        Returns ``(result_copy, raw_service_ns, error)``.  All
+        allocations the attempt made are freed once the result is copied
+        out, so live bytes return to the graph-cache baseline after every
+        request (pinned by the stress suite).
+        """
+        q = worker.queue
+        if req.algorithm in self.registry.names():
+            # graph builds go to the persistent bundle cache, not the
+            # request's scratch window (freed + poisoned on completion)
+            self.registry.prepare(bundle, req)
+        before = {a.alloc_id for a in q.memory.live_allocations}
+        t0 = q.elapsed_ns
+        result = error = None
+        with q.span("service.request", req.req_id):
+            with q.span("service.dispatch", worker.wid):
+                try:
+                    if req.attempts <= req.fail_attempts:
+                        raise TransientFault(
+                            f"injected fault (attempt {req.attempts}/{req.fail_attempts})"
+                        )
+                    result = np.array(self.registry.run(bundle, req), copy=True)
+                except (TransientFault, OutOfMemoryError, DispatchError) as exc:
+                    error = exc
+        raw_ns = q.elapsed_ns - t0
+        if error is not None and raw_ns == 0.0:
+            raw_ns = self.config.fault_service_ns
+        for alloc in [a for a in q.memory.live_allocations if a.alloc_id not in before]:
+            q.memory.free(alloc.array)
+        return result, raw_ns, error
+
+    # ------------------------------------------------------------------ #
+    # completion                                                         #
+    # ------------------------------------------------------------------ #
+    def _complete(self, payload, now: float, events: List[tuple], seq: int) -> int:
+        req, result, error, _raw = payload
+        if error is not None:
+            return self._retry_or_fail(req, now, error, events, seq)
+        timeout = req.timeout_ns
+        if timeout is None:
+            timeout = self.config.timeout_for(req.priority)
+        if timeout is not None and now > req.arrival_ns + timeout:
+            self._finalize(req, RequestStatus.TIMED_OUT, now, reason="finished past deadline")
+            self.metrics.inc("service.timed_out", 1.0, now)
+            return seq
+        self._completions += 1
+        every = self.config.spot_check_every
+        if every and self._completions % every == 0:
+            self.metrics.inc("service.spot_checks", 1.0, now)
+            mismatch = verify_result(
+                self.catalog[req.graph].coo, req.algorithm, req.source, result
+            )
+            if mismatch is not None:
+                v, want, got = mismatch
+                self.metrics.inc("service.spot_check_failures", 1.0, now)
+                self.metrics.inc("service.failed", 1.0, now)
+                self._finalize(
+                    req, RequestStatus.FAILED, now,
+                    reason=f"spot-check divergence at vertex {v}: oracle {want!r}, served {got!r}",
+                )
+                return seq
+        self._finalize(req, RequestStatus.COMPLETED, now)
+        self.metrics.inc("service.completed", 1.0, now)
+        return seq
+
+    def _retry_or_fail(
+        self, req: Request, now: float, error: Exception, events: List[tuple], seq: int
+    ) -> int:
+        # DispatchError is permanent (retrying an unknown algorithm is futile)
+        retryable = not isinstance(error, DispatchError)
+        if retryable and req.attempts <= self.config.max_retries:
+            backoff = self.config.backoff_ns * (2.0 ** (req.attempts - 1))
+            self.metrics.inc("service.retried", 1.0, now)
+            retry = Request(
+                req_id=req.req_id,
+                algorithm=req.algorithm,
+                graph=req.graph,
+                source=req.source,
+                layout=req.layout,
+                bits=req.bits,
+                priority=req.priority,
+                arrival_ns=req.arrival_ns,  # latency measured from first arrival
+                timeout_ns=req.timeout_ns,
+                fail_attempts=req.fail_attempts,
+            )
+            retry.attempts = req.attempts
+            heapq.heappush(events, (now + backoff, _ARRIVAL, seq, retry))
+            seq += 1
+        else:
+            self._finalize(
+                req, RequestStatus.FAILED, now,
+                reason=f"failed after {req.attempts} attempts: {error}",
+            )
+            self.metrics.inc("service.failed", 1.0, now)
+        return seq
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping                                                        #
+    # ------------------------------------------------------------------ #
+    def _record_for(self, req: Request) -> RequestRecord:
+        rec = self._records.get(req.req_id)
+        if rec is None:
+            rec = self._records[req.req_id] = RequestRecord(
+                req_id=req.req_id,
+                algorithm=req.algorithm,
+                graph=req.graph,
+                source=req.source,
+                layout=req.layout,
+                priority=req.priority,
+                status=RequestStatus.REJECTED,
+                arrival_ns=req.arrival_ns,
+            )
+        return rec
+
+    def _finalize(self, req: Request, status: RequestStatus, now: float, reason: str = "") -> None:
+        rec = self._record_for(req)
+        rec.status = status
+        rec.finish_ns = now
+        rec.attempts = max(rec.attempts, req.attempts)
+        rec.reason = reason
+
+    @staticmethod
+    def _serialized_makespan(records: Sequence[RequestRecord]) -> float:
+        """Completion time of the same executed work on ONE in-order queue.
+
+        Replays every executed request (final-attempt raw service time)
+        in arrival order through a single work-conserving queue: start =
+        max(previous finish, arrival).  The multi-device speedup quoted
+        by the CLI is makespan vs this baseline, same trace, same costs.
+        """
+        t = 0.0
+        for rec in sorted(records, key=lambda r: (r.arrival_ns, r.req_id)):
+            if rec.service_ns <= 0:
+                continue
+            t = max(t, rec.arrival_ns) + rec.service_ns
+        return t

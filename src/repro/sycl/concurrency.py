@@ -11,42 +11,78 @@ computes the *makespan* of work spread over several queues:
   the slowest queue;
 * queues on the **same device** share its execution resources — overlap
   hides launch gaps and lets compute and memory phases interleave, modeled
-  as a fixed overlap efficiency on the summed busy time.
+  as a fixed overlap efficiency on the summed busy time, floored at the
+  busiest single queue.
 
 Use it to evaluate whether splitting independent work (e.g. BFS on two
 graphs, or the per-partition work of :mod:`repro.graph.distributed`)
-across queues pays off.
+across queues pays off.  :mod:`repro.service` applies the same semantics
+continuously: :func:`overlap_factor` is the per-dispatch discount its
+scheduler charges when several of a device's queues are busy at once.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Iterable, List
 
 #: fraction of summed same-device busy time hidden by cross-queue overlap
 SAME_DEVICE_OVERLAP = 0.30
 
 
-def overlapped_makespan(queues: Sequence) -> float:
+def _check_overlap(overlap: float) -> float:
+    if not 0.0 <= overlap < 1.0:
+        raise ValueError(f"overlap must be in [0, 1), got {overlap}")
+    return overlap
+
+
+def overlap_factor(active_queues: int, overlap: float = SAME_DEVICE_OVERLAP) -> float:
+    """Duration multiplier for work sharing a device with other busy queues.
+
+    One active queue runs undiscounted; two or more overlap partially, so
+    each unit of busy time effectively takes ``1 - overlap`` of wall
+    time — the incremental form of :func:`overlapped_makespan`'s summed
+    shrink, used by the service scheduler at dispatch time.
+    """
+    _check_overlap(overlap)
+    return 1.0 if active_queues <= 1 else 1.0 - overlap
+
+
+def device_groups(queues: Iterable) -> Dict[int, List]:
+    """Group queues by physical device (shared :class:`DeviceSpec`)."""
+    by_device: Dict[int, List] = {}
+    for q in queues:
+        by_device.setdefault(id(q.device.spec), []).append(q)
+    return by_device
+
+
+def overlapped_makespan(queues: Iterable, overlap: float = SAME_DEVICE_OVERLAP) -> float:
     """Simulated completion time (ns) of all queues' submitted work.
 
     Groups queues by device identity: different devices are independent
     (max); same-device queues overlap partially (their summed time shrinks
-    by :data:`SAME_DEVICE_OVERLAP`, floored at the busiest single queue).
+    by ``overlap``, floored at the busiest single queue).
+
+    Accepts any iterable (including generators); an empty pool — or one
+    whose devices all carry empty groups after filtering — has makespan
+    0.0 rather than raising.  Idle queues (zero elapsed time) neither
+    contribute busy time nor inflate the same-device discount: a device
+    where only one queue actually ran is charged serially, exactly as if
+    the idle queues were absent.
     """
-    if not queues:
-        return 0.0
-    by_device: dict = {}
-    for q in queues:
-        by_device.setdefault(id(q.device.spec), []).append(q)
+    _check_overlap(overlap)
     per_device = []
-    for group in by_device.values():
-        times = [q.elapsed_ns for q in group]
+    for group in device_groups(queues).values():
+        times = [q.elapsed_ns for q in group if q.elapsed_ns > 0]
+        if not times:  # an all-idle device contributes nothing
+            continue
         summed = sum(times)
-        overlapped = max(max(times), summed * (1.0 - SAME_DEVICE_OVERLAP))
-        per_device.append(overlapped if len(group) > 1 else summed)
-    return float(max(per_device))
+        if len(times) > 1:
+            per_device.append(max(max(times), summed * (1.0 - overlap)))
+        else:
+            per_device.append(summed)
+    return float(max(per_device)) if per_device else 0.0
 
 
-def serialized_makespan(queues: Sequence) -> float:
+def serialized_makespan(queues: Iterable) -> float:
     """Completion time if the same work ran on one in-order queue."""
     return float(sum(q.elapsed_ns for q in queues))

@@ -7,7 +7,9 @@ from repro.bench.reporting import (
     format_iteration_breakdown,
     format_table,
     geomean,
+    latency_summary,
     ns_to_ms,
+    percentile,
 )
 
 
@@ -65,3 +67,58 @@ class TestUnits:
 
     def test_geomean_basic(self):
         assert geomean([2, 8]) == pytest.approx(4.0)
+
+
+class TestPercentile:
+    def test_nearest_rank_returns_observed_values(self):
+        """Every percentile is an actually observed sample, never an
+        interpolated midpoint (the bitwise-determinism requirement)."""
+        vals = [10.0, 20.0, 30.0, 40.0]
+        for q in (1, 25, 50, 75, 99, 100):
+            assert percentile(vals, q) in vals
+
+    def test_known_ranks(self):
+        vals = list(range(1, 101))  # 1..100
+        assert percentile(vals, 50) == 50
+        assert percentile(vals, 95) == 95
+        assert percentile(vals, 99) == 99
+        assert percentile(vals, 100) == 100
+
+    def test_p0_is_minimum(self):
+        assert percentile([7.0, 3.0, 9.0], 0) == 3.0
+
+    def test_single_sample(self):
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50) == 5.0
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 95) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+class TestLatencySummary:
+    def test_summary_fields(self):
+        s = latency_summary([1e6, 2e6, 3e6, 4e6])
+        assert s["count"] == 4
+        assert s["p50_ms"] == 2.0
+        assert s["max_ms"] == 4.0
+        assert s["mean_ms"] == pytest.approx(2.5)
+
+    def test_percentile_ordering(self):
+        s = latency_summary([float(v) * 1e3 for v in range(1, 200)])
+        assert s["p50_ms"] <= s["p95_ms"] <= s["p99_ms"] <= s["max_ms"]
+
+    def test_empty_sample(self):
+        s = latency_summary([])
+        assert s == {
+            "count": 0, "p50_ms": 0.0, "p95_ms": 0.0,
+            "p99_ms": 0.0, "max_ms": 0.0, "mean_ms": 0.0,
+        }

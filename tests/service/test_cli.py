@@ -1,0 +1,81 @@
+"""``python -m repro serve-sim``: pool parsing, golden-report stability,
+and the JSON artifact CI uploads."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.service.cli import parse_pool
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GOLDEN = Path(__file__).parent / "golden_serve_sim.txt"
+
+
+def _serve_sim(*extra, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "serve-sim", *extra],
+        capture_output=True, text=True, env=env, cwd=cwd or REPO_ROOT, check=True,
+    )
+
+
+class TestParsePool:
+    def test_counts_expand(self):
+        assert parse_pool("v100s:2,mi100:1") == ["v100s", "v100s", "mi100"]
+
+    def test_bare_name_means_one(self):
+        assert parse_pool("mi100") == ["mi100"]
+
+    def test_whitespace_and_empty_parts_tolerated(self):
+        assert parse_pool(" v100s:1 , ,mi100 ") == ["v100s", "mi100"]
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pool("v100s:0")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pool(",")
+
+
+class TestGoldenReport:
+    def test_smoke_report_matches_golden(self):
+        """The exact invocation CI diffs: byte-for-byte against the
+        checked-in golden file.  A legitimate model change regenerates it
+        with ``python -m repro serve-sim --seed 7 --smoke``."""
+        out = _serve_sim("--seed", "7", "--smoke")
+        assert out.stdout == GOLDEN.read_text()
+
+    def test_two_runs_byte_identical(self):
+        a = _serve_sim("--seed", "7", "--smoke")
+        b = _serve_sim("--seed", "7", "--smoke")
+        assert a.stdout == b.stdout
+
+    def test_seed_changes_report(self):
+        out = _serve_sim("--seed", "8", "--smoke")
+        assert out.stdout != GOLDEN.read_text()
+
+
+class TestJsonArtifact:
+    def test_report_json_written(self, tmp_path):
+        path = tmp_path / "serve.json"
+        _serve_sim("--seed", "7", "--smoke", "--report", str(path))
+        data = json.loads(path.read_text())
+        assert data["meta"]["seed"] == 7
+        assert data["counters"]["service.completed"] == 60
+        assert data["statuses"]["completed"] == 60
+        assert len(data["timeline"]) == 60
+        assert data["makespan_ns"] < data["serialized_ns"]
+        for prio in ("high", "normal", "low"):
+            assert data["latency_by_priority"][prio]["count"] > 0
+
+    def test_json_is_deterministic(self, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        _serve_sim("--seed", "7", "--smoke", "--report", str(p1))
+        _serve_sim("--seed", "7", "--smoke", "--report", str(p2))
+        assert p1.read_text() == p2.read_text()

@@ -1,0 +1,49 @@
+"""The service layer is zero-cost when unused: importing repro.service
+must not perturb the modeled timeline of direct algorithm runs by a bit."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_DIRECT_RUN = """
+import numpy as np
+{extra_import}
+from repro.algorithms import bfs, pagerank, sssp
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import rmat
+from repro.sycl import Queue, get_device
+
+q = Queue(get_device("v100s"), capacity_limit=0)
+g = GraphBuilder(q).to_csr(rmat(8, 8, seed=4, weighted=True))
+bfs(g, 0)
+sssp(g, 0)
+pagerank(g)
+print(repr(q.elapsed_ns))
+"""
+
+
+def _modeled_ns(extra_import: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", _DIRECT_RUN.format(extra_import=extra_import)],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, check=True,
+    )
+    return out.stdout
+
+
+class TestZeroCost:
+    def test_import_does_not_change_modeled_ns(self):
+        without = _modeled_ns("")
+        with_service = _modeled_ns("import repro.service")
+        assert without == with_service != ""
+
+    def test_idle_scheduler_construction_leaves_foreign_queues_alone(self):
+        with_sched = _modeled_ns(
+            "from repro.service import QueryScheduler, default_catalog\n"
+            "_s = QueryScheduler(pool=('mi100',), catalog=default_catalog(seed=0, scale='tiny'))"
+        )
+        assert with_sched == _modeled_ns("")

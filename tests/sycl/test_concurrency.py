@@ -1,12 +1,28 @@
 """Cross-queue async overlap (paper §3.1's asynchronous advances)."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.algorithms import bfs
 from repro.graph import generators as gen
 from repro.graph.builder import GraphBuilder
 from repro.sycl import Queue, get_device
-from repro.sycl.concurrency import overlapped_makespan, serialized_makespan
+from repro.sycl.concurrency import (
+    SAME_DEVICE_OVERLAP,
+    device_groups,
+    overlap_factor,
+    overlapped_makespan,
+    serialized_makespan,
+)
+
+_SPEC_A = object()  # shared DeviceSpec sentinels: grouping is by identity
+_SPEC_B = object()
+
+
+def _fake_queue(elapsed_ns, spec=_SPEC_A):
+    """overlapped_makespan only reads .elapsed_ns and .device.spec."""
+    return SimpleNamespace(elapsed_ns=elapsed_ns, device=SimpleNamespace(spec=spec))
 
 
 def _run_bfs_on_queue(device_name):
@@ -47,3 +63,79 @@ class TestOverlap:
         queues = [_run_bfs_on_queue(d) for d in ("v100s", "v100s", "max1100")]
         span = overlapped_makespan(queues)
         assert span <= serialized_makespan(queues)
+
+
+class TestExactValues:
+    """Pin SAME_DEVICE_OVERLAP's numerics: a silent change to the constant
+    or the shrink formula fails here with exact values, not approx."""
+
+    def test_overlap_constant_pinned(self):
+        assert SAME_DEVICE_OVERLAP == 0.30
+
+    def test_three_equal_same_device_queues(self):
+        # 3 × 100 ns on one device: 300 × (1 - 0.30) = 210.0
+        qs = [_fake_queue(100.0) for _ in range(3)]
+        assert overlapped_makespan(qs) == 210.0
+
+    def test_busiest_queue_floors_the_shrink(self):
+        # 300 + 100 = 400, shrunk 280 — but no better than the 300 ns queue
+        qs = [_fake_queue(300.0), _fake_queue(100.0)]
+        assert overlapped_makespan(qs) == 300.0
+
+    def test_different_devices_take_max_exactly(self):
+        qs = [_fake_queue(250.0, _SPEC_A), _fake_queue(400.0, _SPEC_B)]
+        assert overlapped_makespan(qs) == 400.0
+
+    def test_custom_overlap_applied(self):
+        qs = [_fake_queue(100.0), _fake_queue(100.0)]
+        assert overlapped_makespan(qs, overlap=0.5) == 100.0
+        assert overlapped_makespan(qs, overlap=0.1) == 180.0
+
+
+class TestEdgeCases:
+    def test_generator_input(self):
+        """An iterable is materialized, not silently exhausted to 0."""
+        span = overlapped_makespan(_fake_queue(100.0) for _ in range(3))
+        assert span == 210.0
+
+    def test_empty_generator(self):
+        assert overlapped_makespan(q for q in ()) == 0.0
+
+    def test_all_idle_queues(self):
+        qs = [_fake_queue(0.0), _fake_queue(0.0, _SPEC_B)]
+        assert overlapped_makespan(qs) == 0.0
+
+    def test_idle_queue_does_not_inflate_discount(self):
+        """A device where only one queue ran is charged serially — the
+        idle sibling must not trigger the multi-queue overlap discount."""
+        qs = [_fake_queue(200.0), _fake_queue(0.0)]
+        assert overlapped_makespan(qs) == 200.0
+
+    def test_overlap_validation(self):
+        qs = [_fake_queue(100.0)]
+        with pytest.raises(ValueError):
+            overlapped_makespan(qs, overlap=1.0)
+        with pytest.raises(ValueError):
+            overlapped_makespan(qs, overlap=-0.1)
+        assert overlapped_makespan(qs, overlap=0.0) == 100.0
+
+
+class TestOverlapFactor:
+    def test_solo_queue_undiscounted(self):
+        assert overlap_factor(0) == 1.0
+        assert overlap_factor(1) == 1.0
+
+    def test_contended_queue_discounted(self):
+        assert overlap_factor(2) == 1.0 - SAME_DEVICE_OVERLAP
+        assert overlap_factor(7) == 1.0 - SAME_DEVICE_OVERLAP
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overlap_factor(2, overlap=1.5)
+
+
+class TestDeviceGroups:
+    def test_grouping_is_by_spec_identity(self):
+        qs = [_fake_queue(1.0), _fake_queue(2.0), _fake_queue(3.0, _SPEC_B)]
+        groups = device_groups(qs)
+        assert sorted(len(g) for g in groups.values()) == [1, 2]
