@@ -11,6 +11,8 @@ Usage::
     python -m repro check --strict --full  # + per-kernel invariant checks
     python -m repro trace bfs 2lb          # span-traced run -> Perfetto JSON
     python -m repro serve-sim --seed 7     # multi-tenant load simulation
+    python -m repro flight dump.json       # pretty-print a flight dump
+    python -m repro slo                    # SLO / regression gate
 
 Environment: ``REPRO_SCALE`` and ``REPRO_SOURCES`` set the defaults.
 """
@@ -43,21 +45,28 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "check", "trace", "serve-sim"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "list", "check", "trace", "serve-sim", "flight", "slo"],
         help="which table/figure to regenerate ('all' runs everything; "
         "'check' runs the differential-testing matrix; 'trace' runs one "
         "algorithm with the span tracer and exports a Perfetto JSON; "
-        "'serve-sim' runs the multi-tenant serving simulation)",
+        "'serve-sim' runs the multi-tenant serving simulation; 'flight' "
+        "pretty-prints a flight-recorder dump; 'slo' evaluates the "
+        "SLO/regression gate)",
     )
     parser.add_argument("--scale", default=None, help="dataset scale: tiny | small | medium")
     parser.add_argument("--sources", type=int, default=None, help="sources per measurement (paper: 200)")
     from repro.checking.cli import add_check_arguments, run_check
     from repro.obs.cli import add_trace_arguments, run_trace
+    from repro.obs.flight import add_flight_arguments, run_flight
+    from repro.obs.slo import add_slo_arguments, run_slo
     from repro.service.cli import add_serve_arguments, run_serve
 
     add_check_arguments(parser)
     add_trace_arguments(parser)
     add_serve_arguments(parser)
+    add_flight_arguments(parser)
+    add_slo_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.experiment == "check":
@@ -68,6 +77,12 @@ def main(argv=None) -> int:
 
     if args.experiment == "serve-sim":
         return run_serve(args)
+
+    if args.experiment == "flight":
+        return run_flight(args)
+
+    if args.experiment == "slo":
+        return run_slo(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

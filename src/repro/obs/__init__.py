@@ -10,12 +10,17 @@ simulator the same lens:
   :class:`~repro.perfmodel.cost.KernelCost` to the innermost open span,
   so the modeled timeline carries its *why* (which iteration, which
   operator) instead of a flat kernel list.
-* :mod:`repro.obs.metrics` — a counters/gauges registry sampled on the
-  modeled timeline: frontier active counts and occupancy per iteration,
-  push/pull direction choices, scan-cache hits/misses, relaxations,
-  memory in use.
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry
+  sampled on the modeled timeline: frontier active counts and occupancy
+  per iteration, push/pull direction choices, scan-cache hits/misses,
+  relaxations, memory in use, service latency distributions with
+  trace-id exemplars.
 * :mod:`repro.obs.export` — a Perfetto/chrome-trace exporter emitting
   the span tree as nested ``B``/``E`` events plus ``C`` counter tracks.
+* :mod:`repro.obs.flight` — a bounded ring of structured events, dumped
+  as JSON on failure (``python -m repro flight`` pretty-prints a dump).
+* :mod:`repro.obs.slo` — the declarative SLO / regression gate
+  (``python -m repro slo``).
 
 Tracing is strictly observational and opt-in: a queue without a tracer
 pays one ``is None`` check per kernel, modeled times are bit-identical
@@ -24,7 +29,17 @@ one-command entry point.
 """
 
 from repro.obs.export import export_trace, trace_events
-from repro.obs.metrics import Metric, MetricSample, MetricsRegistry
+from repro.obs.flight import FlightRecorder, format_flight
+from repro.obs.metrics import (
+    HISTOGRAM_BUCKET_BOUNDS_NS,
+    Exemplar,
+    Histogram,
+    Metric,
+    MetricSample,
+    MetricsRegistry,
+    nearest_rank,
+)
+from repro.obs.slo import SLOThresholds, evaluate_slo
 from repro.obs.span import (
     NULL_SPAN,
     KernelEvent,
@@ -34,14 +49,22 @@ from repro.obs.span import (
 )
 
 __all__ = [
+    "HISTOGRAM_BUCKET_BOUNDS_NS",
     "NULL_SPAN",
+    "Exemplar",
+    "FlightRecorder",
+    "Histogram",
     "KernelEvent",
     "Metric",
     "MetricSample",
     "MetricsRegistry",
+    "SLOThresholds",
     "Span",
     "SpanTracer",
+    "evaluate_slo",
     "export_trace",
+    "format_flight",
     "iteration_breakdown",
+    "nearest_rank",
     "trace_events",
 ]

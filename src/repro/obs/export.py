@@ -56,12 +56,14 @@ def _span_args(span: Span) -> dict:
     if span.scan_hits or span.scan_misses:
         args["scan_hits"] = span.scan_hits
         args["scan_misses"] = span.scan_misses
+    for name, value in span.attrs.items():
+        args[name] = value
     for name, value in span.gauges.items():
         args[name] = value
     return args
 
 
-def _emit_kernel(event, track: str, out: List[dict]) -> None:
+def _emit_kernel(event, track: str, out: List[dict], pid: int = _PID) -> None:
     out.append(
         {
             "name": event.name,
@@ -69,14 +71,14 @@ def _emit_kernel(event, track: str, out: List[dict]) -> None:
             "ph": "X",
             "ts": _ns_to_us(event.ts_ns),
             "dur": _ns_to_us(event.dur_ns),
-            "pid": _PID,
+            "pid": pid,
             "tid": track,
             "args": _kernel_args(event),
         }
     )
 
 
-def _emit_span(span: Span, track: str, out: List[dict]) -> None:
+def _emit_span(span: Span, track: str, out: List[dict], pid: int = _PID) -> None:
     """Emit one span as B ... (children/kernels in time order) ... E."""
     out.append(
         {
@@ -84,7 +86,7 @@ def _emit_span(span: Span, track: str, out: List[dict]) -> None:
             "cat": "span",
             "ph": "B",
             "ts": _ns_to_us(span.start_ns),
-            "pid": _PID,
+            "pid": pid,
             "tid": track,
             "args": _span_args(span),
         }
@@ -96,9 +98,9 @@ def _emit_span(span: Span, track: str, out: List[dict]) -> None:
     items.sort(key=lambda t: t[1])
     for kind, _, item in items:
         if kind == "span":
-            _emit_span(item, track, out)
+            _emit_span(item, track, out, pid)
         else:
-            _emit_kernel(item, track, out)
+            _emit_kernel(item, track, out, pid)
     end = span.end_ns if span.end_ns is not None else span.start_ns
     out.append(
         {
@@ -106,39 +108,72 @@ def _emit_span(span: Span, track: str, out: List[dict]) -> None:
             "cat": "span",
             "ph": "E",
             "ts": _ns_to_us(end),
-            "pid": _PID,
+            "pid": pid,
             "tid": track,
         }
     )
 
 
-def _emit_counter(name: str, ts_ns: float, value: float, out: List[dict]) -> None:
+def _emit_counter(
+    name: str, ts_ns: float, value: float, out: List[dict], pid: int = _PID
+) -> None:
     out.append(
         {
             "name": name,
             "cat": "counter",
             "ph": "C",
             "ts": _ns_to_us(ts_ns),
-            "pid": _PID,
+            "pid": pid,
             "args": {name: value},
         }
     )
 
 
-def trace_events(tracer: SpanTracer) -> List[dict]:
-    """Build the chrome-trace event list from a tracer's span tree."""
+def _series_with_ts_fallback(samples) -> List[tuple]:
+    """(ts_ns, value) pairs with a monotonic fallback for missing clocks.
+
+    Samples recorded without a timestamp carry the default ``ts_ns=0.0``;
+    emitting them verbatim collapses the whole series onto t=0, which
+    renders as a single spike.  Instead, a zero-timestamp sample after
+    the first inherits the previous emitted timestamp plus one ns — a
+    monotonic sequence that preserves the recording order (a genuine
+    sample *at* t=0 can only be the first one, which stays put).
+    """
+    out: List[tuple] = []
+    last = 0.0
+    for i, (ts, value) in enumerate(samples):
+        if ts == 0.0 and i > 0:
+            ts = last + 1.0
+        out.append((ts, value))
+        last = ts
+    return out
+
+
+def trace_events(tracer: SpanTracer, pid: int = _PID, track: Optional[str] = None) -> List[dict]:
+    """Build the chrome-trace event list from a tracer's span tree.
+
+    By default every top-level span gets its own track (``tid``); pass
+    ``track`` to keep them on one named track instead (the service
+    exporter uses one track per worker), and ``pid`` to place the whole
+    tree in its own process group of a merged trace.
+    """
     events: List[dict] = []
     for top in tracer.root.children:
-        _emit_span(top, top.label, events)
+        _emit_span(top, track if track is not None else top.label, events, pid)
     # kernels submitted outside any span (graph build, warmup) get their
     # own track so the span tracks stay clean
     for kernel in tracer.root.kernels:
-        _emit_kernel(kernel, "queue", events)
+        _emit_kernel(kernel, f"{track}/queue" if track is not None else "queue", events, pid)
     for metric in tracer.metrics.counters() + tracer.metrics.gauges():
-        for sample in metric.samples:
-            _emit_counter(metric.name, sample.ts_ns, sample.value, events)
-    for ts_ns, total_bytes in tracer.memory_samples:
-        _emit_counter("memory.bytes_in_use", ts_ns, total_bytes, events)
+        series = [(s.ts_ns, s.value) for s in metric.samples]
+        for ts_ns, value in _series_with_ts_fallback(series):
+            _emit_counter(metric.name, ts_ns, value, events, pid)
+    for hist in tracer.metrics.histograms():
+        series = [(s.ts_ns, s.value) for s in hist.samples]
+        for ts_ns, value in _series_with_ts_fallback(series):
+            _emit_counter(hist.name, ts_ns, value, events, pid)
+    for ts_ns, total_bytes in _series_with_ts_fallback(tracer.memory_samples):
+        _emit_counter("memory.bytes_in_use", ts_ns, total_bytes, events, pid)
     return events
 
 

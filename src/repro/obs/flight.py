@@ -1,0 +1,159 @@
+"""Flight recorder: a bounded ring of structured runtime events.
+
+A :class:`FlightRecorder` keeps the **last N** events the serving layer
+saw — admissions, sheds, dispatches, kernel summaries, retries,
+spot-check verdicts — so that when a request FAILs (or the process blows
+up), the dump answers "what was the system doing right before this?"
+without paying for a full trace.
+
+Design rules:
+
+* **bounded** — a ``deque(maxlen=capacity)``; old events fall off the
+  back and are only counted (``dropped``), never retained;
+* **zero-cost when disabled** — the scheduler holds ``flight = None``
+  unless configured, so the disabled hot path is one ``is None`` check
+  per site (same discipline as tracing and strict mode);
+* **structured** — every event is ``(seq, ts_ns, kind, fields)``; the
+  dump is plain JSON, pretty-printed by ``python -m repro flight``.
+
+Timestamps are the scheduler's simulated clock, so a dump lines up with
+the Perfetto trace and the metrics registry of the same run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional, Union
+
+#: dump schema version (bump on incompatible changes)
+DUMP_VERSION = 1
+
+
+class FlightRecorder:
+    """Bounded ring buffer of structured events."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"flight-recorder capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+
+    # -- recording ------------------------------------------------------ #
+    def record(self, kind: str, ts_ns: float = 0.0, **fields) -> None:
+        """Append one event; the oldest falls off when the ring is full."""
+        self._events.append(
+            {"seq": self._seq, "ts_ns": float(ts_ns), "kind": kind, **fields}
+        )
+        self._seq += 1
+
+    # -- reading -------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (retained + dropped)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the back of the ring."""
+        return self._seq - len(self._events)
+
+    def events(self, kind: Optional[str] = None) -> List[dict]:
+        """Retained events, oldest first (optionally filtered by kind)."""
+        evs = list(self._events)
+        if kind is not None:
+            evs = [e for e in evs if e["kind"] == kind]
+        return evs
+
+    # -- dumping -------------------------------------------------------- #
+    def dump(self, reason: str = "", meta: Optional[dict] = None) -> dict:
+        """The JSON-serializable dump payload."""
+        return {
+            "flight_recorder": DUMP_VERSION,
+            "reason": reason,
+            "meta": meta or {},
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "events": self.events(),
+        }
+
+    def dump_json(
+        self, path: Union[str, Path], reason: str = "", meta: Optional[dict] = None
+    ) -> Path:
+        """Write the dump as JSON; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.dump(reason, meta), indent=1, sort_keys=True))
+        return path
+
+
+# --------------------------------------------------------------------- #
+# pretty-printing (python -m repro flight)                              #
+# --------------------------------------------------------------------- #
+def format_flight(dump: dict) -> str:
+    """Render a flight-recorder dump as an aligned text timeline."""
+    header = [
+        f"flight recorder dump (v{dump.get('flight_recorder', '?')})"
+        + (f" — {dump['reason']}" if dump.get("reason") else ""),
+        f"capacity {dump.get('capacity', '?')}, "
+        f"recorded {dump.get('recorded', '?')}, dropped {dump.get('dropped', '?')}",
+    ]
+    meta = dump.get("meta") or {}
+    if meta:
+        header.append("meta: " + ", ".join(f"{k}={meta[k]}" for k in sorted(meta)))
+    lines = header + [""]
+    events = dump.get("events", [])
+    if not events:
+        return "\n".join(lines + ["(no events retained)"])
+    width = max(len(e.get("kind", "")) for e in events)
+    for e in events:
+        extras = {
+            k: v for k, v in e.items() if k not in ("seq", "ts_ns", "kind")
+        }
+        detail = "  ".join(f"{k}={extras[k]}" for k in sorted(extras))
+        lines.append(
+            f"#{e.get('seq', '?'):>5}  {e.get('ts_ns', 0.0) / 1e6:>12.6f} ms  "
+            f"{e.get('kind', ''):<{width}}  {detail}"
+        )
+    return "\n".join(lines)
+
+
+def add_flight_arguments(parser) -> None:
+    """Attach the ``flight`` subcommand's flags to the main parser."""
+    group = parser.add_argument_group("flight options (experiment = 'flight')")
+    group.add_argument(
+        "--input", default=None, metavar="DUMP",
+        help="flight-recorder dump to pretty-print (default: the DUMP "
+        "positional, else flight_dump.json)",
+    )
+    group.add_argument(
+        "--kind", default=None,
+        help="only show events of this kind (dispatch | retry | spot_check | ...)",
+    )
+
+
+def run_flight(args) -> int:
+    """Pretty-print a flight-recorder dump; 0 on success."""
+    path = args.input
+    if path is None:
+        extra = getattr(args, "trace_args", None) or []
+        path = extra[0] if extra else "flight_dump.json"
+    path = Path(path)
+    if not path.exists():
+        print(f"error: no flight-recorder dump at {path}")
+        return 2
+    try:
+        dump = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}")
+        return 2
+    if args.kind is not None:
+        dump = dict(dump)
+        dump["events"] = [e for e in dump.get("events", []) if e.get("kind") == args.kind]
+    print(format_flight(dump))
+    return 0

@@ -1,0 +1,307 @@
+"""``python -m repro slo`` — the SLO / regression gate.
+
+Evaluates a serving run and the perf trajectory against declarative
+thresholds, exits non-zero on any violation, and emits ``BENCH_pr7.json``
+either way (CI uploads it as the PR's benchmark artifact):
+
+* **p99 latency** of completed requests (modeled ms) — read from the
+  run's ``service.latency`` histogram, whose quantiles agree bit-for-bit
+  with :func:`repro.bench.reporting.percentile`;
+* **shed rate** — shed / admitted (graceful degradation must stay rare);
+* **spot-check failures** and **failed requests** — a served-wrong
+  result or an exhausted retry budget is a correctness event, default
+  budget zero;
+* **modeled-ns drift** — the hot-loop case of the BENCH trajectory
+  (``bfs/2lb/chain``) is recomputed in-process and compared to the
+  baseline file.  Modeled time is deterministic, so the default allowed
+  drift is **exactly 0%**: any movement means the cost model or an
+  algorithm changed and the trajectory needs regenerating on purpose.
+
+The gate runs the serving simulation itself (smoke preset, histograms
+on) unless ``--report`` points at a ``serve-sim --report`` JSON to
+evaluate instead.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import List, Optional
+
+
+@dataclass
+class SLOThresholds:
+    """Declarative gate thresholds (violate any one and the gate fails)."""
+
+    #: p99 completed-request latency budget, modeled ms
+    max_p99_ms: float = 50.0
+    #: shed / admitted budget (0.05 = up to 5% graceful degradation)
+    max_shed_rate: float = 0.05
+    #: differential spot-check divergences allowed (correctness: zero)
+    max_spot_check_failures: int = 0
+    #: FAILED requests allowed (retry exhaustion or served-wrong result)
+    max_failed: int = 0
+    #: hot-loop modeled-ns movement vs baseline, percent.  Modeled time
+    #: is deterministic — the default tolerance is exactly zero.
+    max_modeled_drift_pct: float = 0.0
+
+
+def evaluate_slo(summary: dict, thresholds: SLOThresholds) -> List[str]:
+    """Pure threshold check: summary measurements → violation strings.
+
+    ``summary`` keys (missing keys are simply not checked):
+    ``p99_ms``, ``shed_rate``, ``spot_check_failures``, ``failed``,
+    ``modeled_drift_pct``.
+    """
+    v: List[str] = []
+    if "p99_ms" in summary and summary["p99_ms"] > thresholds.max_p99_ms:
+        v.append(
+            f"p99 latency {summary['p99_ms']:.4f} ms exceeds budget "
+            f"{thresholds.max_p99_ms:.4f} ms"
+        )
+    if "shed_rate" in summary and summary["shed_rate"] > thresholds.max_shed_rate:
+        v.append(
+            f"shed rate {summary['shed_rate']:.4f} exceeds budget "
+            f"{thresholds.max_shed_rate:.4f}"
+        )
+    if (
+        "spot_check_failures" in summary
+        and summary["spot_check_failures"] > thresholds.max_spot_check_failures
+    ):
+        v.append(
+            f"{summary['spot_check_failures']} spot-check failure(s) exceed budget "
+            f"{thresholds.max_spot_check_failures}"
+        )
+    if "failed" in summary and summary["failed"] > thresholds.max_failed:
+        v.append(
+            f"{summary['failed']} FAILED request(s) exceed budget {thresholds.max_failed}"
+        )
+    if (
+        "modeled_drift_pct" in summary
+        and abs(summary["modeled_drift_pct"]) > thresholds.max_modeled_drift_pct
+    ):
+        v.append(
+            f"hot-loop modeled ns drifted {summary['modeled_drift_pct']:+.4f}% vs "
+            f"baseline (allowed ±{thresholds.max_modeled_drift_pct:.4f}%)"
+        )
+    return v
+
+
+def add_slo_arguments(parser) -> None:
+    """Attach the ``slo`` subcommand's flags to the main parser."""
+    group = parser.add_argument_group("slo options (experiment = 'slo')")
+    group.add_argument(
+        "--baseline", default="BENCH_pr3.json", metavar="PATH",
+        help="trajectory baseline the modeled-ns drift check compares "
+        "against (default BENCH_pr3.json)",
+    )
+    group.add_argument(
+        "--slo-report", default=None, metavar="PATH",
+        help="evaluate an existing `serve-sim --report` JSON instead of "
+        "running the smoke serving simulation in-process",
+    )
+    group.add_argument(
+        "--slo-output", default="BENCH_pr7.json", metavar="PATH",
+        help="where to write the gate's result JSON (default BENCH_pr7.json)",
+    )
+    group.add_argument("--max-p99-ms", type=float, default=None, help="p99 latency budget, modeled ms")
+    group.add_argument("--max-shed-rate", type=float, default=None, help="shed/admitted budget")
+    group.add_argument(
+        "--max-spot-check-failures", type=int, default=None,
+        help="spot-check divergence budget (default 0)",
+    )
+    group.add_argument(
+        "--max-failed", type=int, default=None, help="FAILED request budget (default 0)"
+    )
+    group.add_argument(
+        "--max-drift-pct", type=float, default=None,
+        help="allowed hot-loop modeled-ns drift, percent (default 0)",
+    )
+    group.add_argument(
+        "--skip-drift", action="store_true",
+        help="skip the modeled-ns drift recomputation (faster; serving "
+        "SLOs only)",
+    )
+
+
+def _thresholds_from_args(args) -> SLOThresholds:
+    t = SLOThresholds()
+    for flag, field_name in (
+        ("max_p99_ms", "max_p99_ms"),
+        ("max_shed_rate", "max_shed_rate"),
+        ("max_spot_check_failures", "max_spot_check_failures"),
+        ("max_failed", "max_failed"),
+        ("max_drift_pct", "max_modeled_drift_pct"),
+    ):
+        val = getattr(args, flag, None)
+        if val is not None:
+            setattr(t, field_name, val)
+    return t
+
+
+def _smoke_summary(seed: int) -> dict:
+    """Run the smoke serving preset in-process, histograms + spot-checks on."""
+    from repro.service.cli import parse_pool
+    from repro.service.scheduler import QueryScheduler, SchedulerConfig
+    from repro.service.workload import WorkloadConfig, default_catalog, generate_workload
+
+    catalog = default_catalog(seed=seed, scale="tiny")
+    workload = generate_workload(
+        catalog,
+        WorkloadConfig(n_requests=60, mean_interarrival_ns=2_000.0),
+        seed=seed,
+    )
+    scheduler = QueryScheduler(
+        pool=parse_pool("v100s:2,mi100:1"),
+        catalog=catalog,
+        config=SchedulerConfig(spot_check_every=10, histograms=True),
+    )
+    report = scheduler.run(workload)
+
+    counter = report.metrics.value  # 0.0 for never-touched counters
+
+    lat = report.metrics.histograms()
+    latency = next((h for h in lat if h.name == "service.latency"), None)
+    admitted = counter("service.admitted")
+    p99_ns = latency.quantile(99.0) if latency is not None else 0.0
+    ex = latency.quantile_exemplar(99.0) if latency is not None else None
+    return {
+        "source": "smoke run (seed %d)" % seed,
+        "completed": int(counter("service.completed")),
+        "p99_ms": p99_ns / 1e6,
+        "p99_trace_id": ex.trace_id if ex is not None else "",
+        "shed_rate": counter("service.shed") / admitted if admitted else 0.0,
+        "spot_check_failures": int(counter("service.spot_check_failures")),
+        "failed": int(counter("service.failed")),
+    }
+
+
+def _report_summary(path: str) -> dict:
+    """Measurements from a ``serve-sim --report`` JSON."""
+    data = json.loads(Path(path).read_text())
+    counters = data.get("counters", {})
+    admitted = counters.get("service.admitted", 0.0)
+    hist = data.get("histograms", {}).get("service.latency")
+    if hist is not None:
+        p99_ms = hist["p99_ns"] / 1e6
+        ex = hist.get("p99_exemplar") or {}
+        p99_trace = ex.get("trace_id", "")
+    else:
+        # fall back to the per-priority summaries (same nearest-rank
+        # convention, but per-class): gate on the worst class
+        p99_ms = max(
+            (s["p99_ms"] for s in data.get("latency_by_priority", {}).values()),
+            default=0.0,
+        )
+        p99_trace = ""
+    return {
+        "source": path,
+        "completed": int(counters.get("service.completed", 0)),
+        "p99_ms": p99_ms,
+        "p99_trace_id": p99_trace,
+        "shed_rate": counters.get("service.shed", 0.0) / admitted if admitted else 0.0,
+        "spot_check_failures": int(counters.get("service.spot_check_failures", 0)),
+        "failed": int(counters.get("service.failed", 0)),
+    }
+
+
+def _drift_summary(baseline_path: str) -> dict:
+    """Recompute the hot-loop modeled ns and diff it against the baseline.
+
+    Uses the same graph size the baseline was produced with (its ``mode``
+    field), so quick and full baselines both compare like-for-like.
+    """
+    from repro.algorithms.bfs import bfs
+    from repro.graph.builder import GraphBuilder
+    from repro.graph.coo import COOGraph
+    from repro.sycl.device import get_device
+    from repro.sycl.queue import Queue
+
+    import numpy as np
+
+    base = json.loads(Path(baseline_path).read_text())
+    hot_case = base.get("hot_loop", {}).get("case", "bfs/2lb/chain")
+    algorithm, layout, graph_name = hot_case.split("/")
+    entry = next(
+        e
+        for e in base.get("entries", [])
+        if e["algorithm"] == algorithm and e["layout"] == layout and e["graph"] == graph_name
+    )
+    n = 2000 if base.get("mode") == "quick" else 5000
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    coo = COOGraph(n, np.concatenate([src, dst]), np.concatenate([dst, src]))
+    q = Queue(get_device(base.get("device", "v100s")), enable_profiling=True, capacity_limit=0)
+    graph = GraphBuilder(q).to_csr(coo)
+    q.reset_profile()
+    bfs(graph, 0, layout=layout)
+    now_ns = int(q.elapsed_ns)
+    base_ns = int(entry["modeled_ns"])
+    drift = 100.0 * (now_ns - base_ns) / base_ns if base_ns else 0.0
+    return {
+        "case": hot_case,
+        "baseline": baseline_path,
+        "baseline_modeled_ns": base_ns,
+        "modeled_ns": now_ns,
+        "modeled_drift_pct": drift,
+    }
+
+
+def run_slo(args) -> int:
+    """Evaluate the gate; prints the verdict, non-zero exit on violation."""
+    thresholds = _thresholds_from_args(args)
+    seed = getattr(args, "seed", 7) or 7
+
+    report_path = getattr(args, "slo_report", None)
+    summary = _report_summary(report_path) if report_path else _smoke_summary(seed)
+
+    if not getattr(args, "skip_drift", False):
+        baseline = getattr(args, "baseline", "BENCH_pr3.json")
+        if Path(baseline).exists():
+            drift = _drift_summary(baseline)
+            summary.update(drift)
+        else:
+            print(f"[slo] baseline {baseline} not found; skipping drift check")
+
+    violations = evaluate_slo(summary, thresholds)
+
+    result = {
+        "benchmark": "slo-gate",
+        "pr": 7,
+        "seed": seed,
+        "thresholds": {f.name: getattr(thresholds, f.name) for f in fields(SLOThresholds)},
+        "summary": summary,
+        "violations": violations,
+        "pass": not violations,
+    }
+    output = getattr(args, "slo_output", None) or "BENCH_pr7.json"
+    Path(output).write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    print(f"slo gate over {summary['source']}:")
+    checked = [
+        ("p99 latency", f"{summary.get('p99_ms', 0.0):.4f} ms", f"<= {thresholds.max_p99_ms:g} ms"),
+        ("shed rate", f"{summary.get('shed_rate', 0.0):.4f}", f"<= {thresholds.max_shed_rate:g}"),
+        ("spot-check failures", str(summary.get("spot_check_failures", 0)), f"<= {thresholds.max_spot_check_failures}"),
+        ("failed requests", str(summary.get("failed", 0)), f"<= {thresholds.max_failed}"),
+    ]
+    if "modeled_drift_pct" in summary:
+        checked.append(
+            (
+                f"modeled drift ({summary['case']})",
+                f"{summary['modeled_drift_pct']:+.4f}%",
+                f"within ±{thresholds.max_modeled_drift_pct:g}%",
+            )
+        )
+    for name, value, budget in checked:
+        print(f"  {name:30s} {value:>14s}   (budget {budget})")
+    if summary.get("p99_trace_id"):
+        print(f"  p99 exemplar trace_id          {summary['p99_trace_id']}")
+    print(f"[gate result written to {output}]")
+    if violations:
+        for v in violations:
+            print(f"SLO VIOLATION: {v}", file=sys.stderr)
+        return 1
+    print("slo gate: PASS")
+    return 0

@@ -62,6 +62,9 @@ class Span:
     children: List["Span"] = field(default_factory=list)
     kernels: List[KernelEvent] = field(default_factory=list)
     gauges: Dict[str, float] = field(default_factory=dict)
+    #: free-form attributes (trace_id, attempt, worker …) carried into
+    #: the exported event's args — the trace-context propagation channel
+    attrs: Dict[str, object] = field(default_factory=dict)
     scan_hits: int = 0
     scan_misses: int = 0
 
@@ -160,9 +163,16 @@ class SpanTracer:
         """The innermost open span (the root when none is open)."""
         return self._stack[-1]
 
-    def span(self, name: str, arg: Optional[object] = None) -> _SpanContext:
+    def span(
+        self,
+        name: str,
+        arg: Optional[object] = None,
+        attrs: Optional[Dict[str, object]] = None,
+    ) -> _SpanContext:
         """Context manager opening a child span of the current one."""
         span = Span(name=name, arg=arg, start_ns=self.cursor_ns, parent=self.current)
+        if attrs:
+            span.attrs.update(attrs)
         self.current.children.append(span)
         return _SpanContext(self, span)
 
@@ -217,13 +227,19 @@ class SpanTracer:
 ITERATION_SUFFIXES = (".iter", ".bucket")
 
 
-def iteration_breakdown(tracer: SpanTracer) -> List[dict]:
+def iteration_breakdown(tracer: Optional[SpanTracer]) -> List[dict]:
     """Flatten the span tree into one row per algorithm iteration.
 
     Each row carries the iteration span's kernel totals, gauges, and
     scan-cache deltas — the per-iteration view ``MeasureResult`` and the
     ``trace`` CLI report.
+
+    A disabled tracer (``None`` — tracing was never enabled) or one with
+    no completed root spans yields ``[]`` rather than assuming a
+    populated tree.
     """
+    if tracer is None or not tracer.root.children:
+        return []
     rows: List[dict] = []
     for span in tracer.root.walk():
         if not span.name.endswith(ITERATION_SUFFIXES):

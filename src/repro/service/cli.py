@@ -60,6 +60,27 @@ def add_serve_arguments(parser) -> None:
         "--report", default=None, metavar="PATH",
         help="also write the full report as JSON (CI artifact)",
     )
+    group.add_argument(
+        "--histograms", action="store_true",
+        help="record latency/queue-wait histograms with trace-id "
+        "exemplars and append them to the report",
+    )
+    group.add_argument(
+        "--trace-output", default=None, metavar="PATH",
+        help="trace the run end-to-end and write ONE merged Perfetto "
+        "JSON (scheduler request tracks + per-worker span trees, flow "
+        "events linking retry attempts)",
+    )
+    group.add_argument(
+        "--flight", default=None, metavar="PATH",
+        help="enable the flight recorder; auto-dumps the event ring to "
+        "PATH on a FAILED request or crash, else dumps at end of run "
+        "(pretty-print with `python -m repro flight PATH`)",
+    )
+    group.add_argument(
+        "--flight-capacity", type=int, default=256, metavar="N",
+        help="flight-recorder ring size (default 256, used with --flight)",
+    )
 
 
 def parse_pool(spec: str) -> List[str]:
@@ -131,6 +152,31 @@ def render_report(report, args_line: str) -> str:
         )
     )
     lines.append("")
+
+    hists = report.metrics.histograms()
+    if hists:  # only recorded under --histograms; goldens never see this
+        hrows = []
+        for h in hists:
+            ex = h.quantile_exemplar(99.0)
+            hrows.append(
+                [
+                    h.name,
+                    h.count,
+                    f"{ns_to_ms(h.quantile(50.0)):.4f}",
+                    f"{ns_to_ms(h.quantile(95.0)):.4f}",
+                    f"{ns_to_ms(h.quantile(99.0)):.4f}",
+                    ex.trace_id if ex is not None else "-",
+                ]
+            )
+        lines.append(
+            format_table(
+                ["histogram", "count", "p50_ms", "p95_ms", "p99_ms", "p99_trace"],
+                hrows,
+                title="latency histograms (p99 exemplar = trace id of the p99 sample)",
+            )
+        )
+        lines.append("")
+
     speedup = report.serialized_ns / makespan if makespan > 0 else 0.0
     lines.append(f"makespan      {ns_to_ms(makespan):.4f} ms (modeled)")
     lines.append(f"serialized    {ns_to_ms(report.serialized_ns):.4f} ms (one in-order queue, same trace)")
@@ -144,7 +190,7 @@ def report_json(report, meta: dict) -> dict:
     from repro.bench.reporting import latency_summary
 
     lat = report.latencies_by_priority()
-    return {
+    out = {
         "meta": meta,
         "counters": {m.name: m.value for m in report.metrics.counters()},
         "latency_by_priority": {priority_name(p): latency_summary(v) for p, v in lat.items()},
@@ -155,6 +201,33 @@ def report_json(report, meta: dict) -> dict:
         "timeline": [list(t) for t in report.timeline()],
         "statuses": {
             s.value: len(report.by_status(s)) for s in RequestStatus
+        },
+    }
+    hists = report.metrics.histograms()
+    if hists:  # key only appears under --histograms
+        out["histograms"] = {h.name: histogram_json(h) for h in hists}
+    return out
+
+
+def histogram_json(h) -> dict:
+    """JSON summary of one histogram, exemplars included."""
+    ex99 = h.quantile_exemplar(99.0)
+    return {
+        "count": h.count,
+        "sum": h.sum,
+        "mean": h.mean,
+        "p50_ns": h.quantile(50.0),
+        "p95_ns": h.quantile(95.0),
+        "p99_ns": h.quantile(99.0),
+        "p99_exemplar": (
+            {"value": ex99.value, "ts_ns": ex99.ts_ns, "trace_id": ex99.trace_id}
+            if ex99 is not None
+            else None
+        ),
+        "bucket_counts": list(h.counts),
+        "bucket_exemplars": {
+            str(i): {"value": e.value, "ts_ns": e.ts_ns, "trace_id": e.trace_id}
+            for i, e in sorted(h.exemplars().items())
         },
     }
 
@@ -183,10 +256,16 @@ def run_serve(args) -> int:
         ),
         seed=seed,
     )
+    trace_output = getattr(args, "trace_output", None)
+    flight_path = getattr(args, "flight", None)
     config = SchedulerConfig(
         max_queue_depth=args.queue_depth,
         max_batch=args.batch,
         spot_check_every=args.spot_check,
+        trace=trace_output is not None,
+        histograms=getattr(args, "histograms", False),
+        flight_capacity=getattr(args, "flight_capacity", 256) if flight_path else 0,
+        flight_path=flight_path,
     )
     scheduler = QueryScheduler(pool=pool, catalog=catalog, config=config)
     report = scheduler.run(workload)
@@ -208,4 +287,17 @@ def run_serve(args) -> int:
         with open(args.report, "w", encoding="utf-8") as fh:
             json.dump(report_json(report, meta), fh, indent=2, sort_keys=True)
         print(f"\n[report written to {args.report}]")
+    if trace_output:
+        from repro.service.traceexport import export_service_trace
+
+        export_service_trace(report, trace_output)
+        print(f"[trace written to {trace_output}]")
+    if flight_path:
+        if report.flight_dump_path:
+            print(f"[flight dump written to {report.flight_dump_path}]")
+        elif report.flight is not None:
+            # nothing failed: still leave the end-of-run ring on disk so
+            # the artifact exists either way
+            report.flight.dump_json(flight_path, reason="end of run")
+            print(f"[flight dump written to {flight_path}]")
     return 0

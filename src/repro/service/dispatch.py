@@ -56,19 +56,27 @@ class GraphBundle:
     @property
     def csr(self):
         if self._csr is None:
-            self._csr = GraphBuilder(self.queue).to_csr(self.coo)
+            # the span is a no-op on untraced queues; on traced workers
+            # it attributes the one-time build cost to the graph, not to
+            # whichever request happened to arrive first
+            with self.queue.span("service.graph_build", self.name, attrs={"repr": "csr"}):
+                self._csr = GraphBuilder(self.queue).to_csr(self.coo)
         return self._csr
 
     @property
     def csr_undirected(self):
         if self._csr_undirected is None:
-            self._csr_undirected = GraphBuilder(self.queue).to_csr(self.coo.symmetrized())
+            with self.queue.span(
+                "service.graph_build", self.name, attrs={"repr": "csr_undirected"}
+            ):
+                self._csr_undirected = GraphBuilder(self.queue).to_csr(self.coo.symmetrized())
         return self._csr_undirected
 
     @property
     def csc(self):
         if self._csc is None:
-            self._csc = GraphBuilder(self.queue).to_csc(self.coo)
+            with self.queue.span("service.graph_build", self.name, attrs={"repr": "csc"}):
+                self._csc = GraphBuilder(self.queue).to_csc(self.coo)
         return self._csc
 
 

@@ -22,11 +22,23 @@ Terminal states mirror what a production front-end would surface:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
 #: priority levels, best first; the numeric priority is the tuple index
 PRIORITIES = ("high", "normal", "low")
+
+
+def make_trace_id(seed: int, req_id: int) -> str:
+    """Deterministic 16-hex-digit trace id for one request.
+
+    Derived by hashing, not drawn from the workload RNG, so assigning
+    trace ids consumes no random draws — the request stream (and every
+    golden file derived from it) is bit-identical with or without trace
+    context.
+    """
+    return hashlib.blake2b(f"{seed}:{req_id}".encode(), digest_size=8).hexdigest()
 
 
 def priority_name(priority: int) -> str:
@@ -85,6 +97,10 @@ class Request:
     arrival_ns: float = 0.0
     timeout_ns: Optional[float] = None
     fail_attempts: int = 0
+    #: end-to-end trace context: one id per request, shared by every
+    #: retry attempt, span, histogram exemplar and flight-recorder event
+    #: it produces.  Empty = assigned deterministically at admission.
+    trace_id: str = ""
     #: mutable scheduling state: attempts made so far
     attempts: int = field(default=0, compare=False)
 
@@ -122,6 +138,8 @@ class RequestRecord:
     worker: int = -1
     batch_id: int = -1
     reason: str = ""
+    #: trace context carried over from the request (see Request.trace_id)
+    trace_id: str = ""
 
     @property
     def latency_ns(self) -> float:

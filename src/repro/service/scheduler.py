@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import OutOfMemoryError, SYgraphError
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.service.dispatch import (
     DispatchError,
@@ -59,7 +60,13 @@ from repro.service.dispatch import (
     default_registry,
     verify_result,
 )
-from repro.service.request import PRIORITIES, Request, RequestRecord, RequestStatus
+from repro.service.request import (
+    PRIORITIES,
+    Request,
+    RequestRecord,
+    RequestStatus,
+    make_trace_id,
+)
 from repro.service.workload import GraphSpec
 from repro.sycl.concurrency import SAME_DEVICE_OVERLAP, overlap_factor
 from repro.sycl.device import Device, get_device
@@ -92,8 +99,19 @@ class SchedulerConfig:
     fault_service_ns: float = 20_000.0
     #: enable strict-mode memory guards + poisoned frees on every worker
     strict: bool = False
-    #: attach a span tracer per worker (request > dispatch > algorithm)
+    #: attach a span tracer per worker (batch > request > dispatch >
+    #: algorithm) and keep a control-plane event log, so one Perfetto
+    #: export shows a request's full lifecycle across workers
     trace: bool = False
+    #: record service.latency / service.queue_wait / per-algorithm
+    #: latency histograms with trace-id exemplars (off by default: the
+    #: disabled path records nothing, keeping golden outputs untouched)
+    histograms: bool = False
+    #: flight-recorder ring capacity (0 = disabled, the zero-cost path)
+    flight_capacity: int = 0
+    #: where the flight recorder auto-dumps on a FAILED request or an
+    #: unhandled exception (None = keep in memory only)
+    flight_path: Optional[str] = None
 
     def timeout_for(self, priority: int) -> Optional[float]:
         if not self.timeout_ns:
@@ -135,6 +153,16 @@ class ServiceReport:
     serialized_ns: float
     metrics: MetricsRegistry
     workers: List[dict] = field(default_factory=list)
+    #: control-plane event log (admit/dispatch/retry/finish …), only
+    #: populated when the run was traced — the scheduler side of the
+    #: merged Perfetto export (see repro.service.traceexport)
+    trace_log: Optional[List[dict]] = None
+    #: (wid, device_name, SpanTracer) per traced worker
+    tracers: List[tuple] = field(default_factory=list)
+    #: the run's flight recorder (None when disabled) and the dump path
+    #: written on failure, if any
+    flight: Optional[FlightRecorder] = None
+    flight_dump_path: Optional[str] = None
 
     def by_status(self, status: RequestStatus) -> List[RequestRecord]:
         return [r for r in self.records if r.status is status]
@@ -202,6 +230,16 @@ class QueryScheduler:
             dev = devices.setdefault(name, get_device(name))
             self.workers.append(Worker(wid, dev, name, self.config))
         self.metrics = MetricsRegistry()
+        self.flight = (
+            FlightRecorder(self.config.flight_capacity)
+            if self.config.flight_capacity
+            else None
+        )
+        #: one `if` per control-plane event site when both trace and
+        #: flight are off — the zero-cost-when-disabled discipline
+        self._observe = bool(self.config.trace) or self.flight is not None
+        self.trace_log: List[dict] = []
+        self._flight_dump_path: Optional[str] = None
         self._pending: List[Request] = []
         self._records: Dict[int, RequestRecord] = {}
         self._completions = 0
@@ -214,6 +252,8 @@ class QueryScheduler:
         self._pending = []
         self._records = {}
         self._completions = 0
+        self.trace_log = []
+        self._flight_dump_path = None
         for worker in self.workers:
             # scheduling state is per-run; the graph bundle caches are not
             worker.busy_until = 0.0
@@ -225,21 +265,40 @@ class QueryScheduler:
             if req.graph not in self.catalog:
                 raise KeyError(f"request {req.req_id} names unknown graph {req.graph!r}")
             req.attempts = 0
+            if not req.trace_id:
+                # hand-built requests get deterministic ids too, so every
+                # span/exemplar/flight event has a trace context
+                req.trace_id = make_trace_id(0, req.req_id)
             heapq.heappush(events, (req.arrival_ns, _ARRIVAL, seq, req))
             seq += 1
 
-        while events:
-            # drain every event at this timestamp before dispatching, so
-            # simultaneous arrivals contend on priority, not heap order
-            now = events[0][0]
-            while events and events[0][0] == now:
-                _, kind, _, payload = heapq.heappop(events)
-                if kind == _ARRIVAL:
-                    self._admit(payload, now)
-                else:
-                    seq = self._complete(payload, now, events, seq)
-            seq = self._dispatch_idle(now, events, seq)
-            self.metrics.gauge("service.queue_depth", len(self._pending), now)
+        now = 0.0
+        try:
+            while events:
+                # drain every event at this timestamp before dispatching, so
+                # simultaneous arrivals contend on priority, not heap order
+                now = events[0][0]
+                while events and events[0][0] == now:
+                    _, kind, _, payload = heapq.heappop(events)
+                    if kind == _ARRIVAL:
+                        self._admit(payload, now)
+                    else:
+                        seq = self._complete(payload, now, events, seq)
+                seq = self._dispatch_idle(now, events, seq)
+                self.metrics.gauge("service.queue_depth", len(self._pending), now)
+        except Exception as exc:
+            # last-gasp dump: the ring holds the events leading up to the
+            # crash, which is exactly what a post-mortem needs
+            if self.flight is not None:
+                self.flight.record("exception", now, error=repr(exc))
+                if self.config.flight_path and self._flight_dump_path is None:
+                    self._flight_dump_path = str(
+                        self.flight.dump_json(
+                            self.config.flight_path,
+                            reason=f"unhandled exception: {exc!r}",
+                        )
+                    )
+            raise
 
         records = sorted(self._records.values(), key=lambda r: r.req_id)
         makespan = max((r.finish_ns for r in records), default=0.0)
@@ -258,7 +317,26 @@ class QueryScheduler:
                 }
                 for w in self.workers
             ],
+            trace_log=list(self.trace_log) if self.config.trace else None,
+            tracers=[
+                (w.wid, w.device_name, w.queue.tracer)
+                for w in self.workers
+                if w.queue.tracer is not None
+            ],
+            flight=self.flight,
+            flight_dump_path=self._flight_dump_path,
         )
+
+    def _event(self, kind: str, ts_ns: float, **fields) -> None:
+        """Control-plane event fan-out: trace log + flight recorder.
+
+        Only called behind ``self._observe`` checks, so the disabled
+        path never builds the fields dict.
+        """
+        if self.config.trace:
+            self.trace_log.append({"kind": kind, "ts_ns": ts_ns, **fields})
+        if self.flight is not None:
+            self.flight.record(kind, ts_ns, **fields)
 
     # ------------------------------------------------------------------ #
     # admission                                                          #
@@ -269,16 +347,32 @@ class QueryScheduler:
             if (victim.priority, victim.arrival_ns) > (req.priority, req.arrival_ns):
                 # shed the worst queued request to admit the newcomer
                 self._pending.remove(victim)
+                if self._observe:
+                    self._event(
+                        "shed", now, req_id=victim.req_id, trace_id=victim.trace_id,
+                        priority=victim.priority, displaced_by=req.req_id,
+                    )
                 self._finalize(
                     victim, RequestStatus.SHED, now,
                     reason="shed for higher-priority admission",
                 )
                 self.metrics.inc("service.shed", 1.0, now)
             else:
+                if self._observe:
+                    self._event(
+                        "reject", now, req_id=req.req_id, trace_id=req.trace_id,
+                        priority=req.priority, queue_depth=len(self._pending),
+                    )
                 self._finalize(req, RequestStatus.REJECTED, now, reason="queue full")
                 self.metrics.inc("service.rejected", 1.0, now)
                 return
         self._pending.append(req)
+        if self._observe:
+            self._event(
+                "admit" if req.attempts == 0 else "requeue", now,
+                req_id=req.req_id, trace_id=req.trace_id, priority=req.priority,
+                attempt=req.attempts, queue_depth=len(self._pending),
+            )
         if req.attempts == 0:
             self.metrics.inc("service.admitted", 1.0, now)
 
@@ -304,6 +398,11 @@ class QueryScheduler:
             if timeout is None:
                 timeout = self.config.timeout_for(req.priority)
             if timeout is not None and now > req.arrival_ns + timeout:
+                if self._observe:
+                    self._event(
+                        "timeout", now, req_id=req.req_id, trace_id=req.trace_id,
+                        where="queued",
+                    )
                 self._finalize(
                     req, RequestStatus.TIMED_OUT, now, reason="deadline passed in queue"
                 )
@@ -347,34 +446,57 @@ class QueryScheduler:
         if len(batch) > 1:
             self.metrics.inc("service.batched_requests", float(len(batch) - 1), now)
 
-        start = now
-        for req in batch:
-            req.attempts += 1
-            result, raw_ns, error = self._execute(worker, bundle, req)
-            effective = raw_ns * factor
-            finish = start + effective
-            worker.busy_ns += effective
-            rec = self._record_for(req)
-            rec.start_ns = start
-            rec.service_ns = raw_ns
-            rec.attempts = req.attempts
-            rec.worker = worker.wid
-            rec.batch_id = batch_id
-            heapq.heappush(
-                events, (finish, _COMPLETION, seq, (req, result, error, raw_ns))
-            )
-            seq += 1
-            start = finish
+        # traced workers anchor the batch on the simulated clock, so the
+        # worker track's spans line up with the scheduler's request track
+        # (cursor moves are tracer-only state: modeled ns are untouched)
+        tracer = worker.queue.tracer
+        if tracer is not None:
+            tracer.cursor_ns = max(tracer.cursor_ns, now)
+        with worker.queue.span(
+            "service.batch", batch_id,
+            attrs={"worker": worker.wid, "size": len(batch), "overlap_factor": round(factor, 4)},
+        ):
+            start = now
+            for req in batch:
+                req.attempts += 1
+                if tracer is not None:
+                    tracer.cursor_ns = max(tracer.cursor_ns, start)
+                result, raw_ns, error, span_ts = self._execute(worker, bundle, req)
+                effective = raw_ns * factor
+                finish = start + effective
+                worker.busy_ns += effective
+                rec = self._record_for(req)
+                rec.start_ns = start
+                rec.service_ns = raw_ns
+                rec.attempts = req.attempts
+                rec.worker = worker.wid
+                rec.batch_id = batch_id
+                if self._observe:
+                    self._event(
+                        "dispatch", start, req_id=req.req_id, trace_id=req.trace_id,
+                        attempt=req.attempts, worker=worker.wid, batch_id=batch_id,
+                        algorithm=req.algorithm, raw_ns=raw_ns, effective_ns=effective,
+                        worker_ts_ns=span_ts,
+                        error=repr(error) if error is not None else "",
+                    )
+                heapq.heappush(
+                    events, (finish, _COMPLETION, seq, (req, result, error, raw_ns))
+                )
+                seq += 1
+                start = finish
         worker.busy_until = start
         return seq
 
     def _execute(self, worker: Worker, bundle: GraphBundle, req: Request):
         """Run one attempt on the worker's queue; never leaks allocations.
 
-        Returns ``(result_copy, raw_service_ns, error)``.  All
-        allocations the attempt made are freed once the result is copied
-        out, so live bytes return to the graph-cache baseline after every
-        request (pinned by the stress suite).
+        Returns ``(result_copy, raw_service_ns, error, span_start_ns)``
+        — the span start is where the attempt's ``service.request`` span
+        landed on the worker's tracer (-1.0 untraced), which the trace
+        exporter uses to bind flow arrows.  All allocations the attempt
+        made are freed once the result is copied out, so live bytes
+        return to the graph-cache baseline after every request (pinned
+        by the stress suite).
         """
         q = worker.queue
         if req.algorithm in self.registry.names():
@@ -384,8 +506,14 @@ class QueryScheduler:
         before = {a.alloc_id for a in q.memory.live_allocations}
         t0 = q.elapsed_ns
         result = error = None
-        with q.span("service.request", req.req_id):
-            with q.span("service.dispatch", worker.wid):
+        span_ts = -1.0
+        with q.span(
+            "service.request", req.req_id,
+            attrs={"trace_id": req.trace_id, "attempt": req.attempts, "algorithm": req.algorithm},
+        ) as sp:
+            if sp is not None:
+                span_ts = sp.start_ns
+            with q.span("service.dispatch", worker.wid, attrs={"trace_id": req.trace_id}):
                 try:
                     if req.attempts <= req.fail_attempts:
                         raise TransientFault(
@@ -399,7 +527,7 @@ class QueryScheduler:
             raw_ns = self.config.fault_service_ns
         for alloc in [a for a in q.memory.live_allocations if a.alloc_id not in before]:
             q.memory.free(alloc.array)
-        return result, raw_ns, error
+        return result, raw_ns, error, span_ts
 
     # ------------------------------------------------------------------ #
     # completion                                                         #
@@ -412,6 +540,11 @@ class QueryScheduler:
         if timeout is None:
             timeout = self.config.timeout_for(req.priority)
         if timeout is not None and now > req.arrival_ns + timeout:
+            if self._observe:
+                self._event(
+                    "timeout", now, req_id=req.req_id, trace_id=req.trace_id,
+                    where="executed",
+                )
             self._finalize(req, RequestStatus.TIMED_OUT, now, reason="finished past deadline")
             self.metrics.inc("service.timed_out", 1.0, now)
             return seq
@@ -422,6 +555,12 @@ class QueryScheduler:
             mismatch = verify_result(
                 self.catalog[req.graph].coo, req.algorithm, req.source, result
             )
+            if self._observe:
+                self._event(
+                    "spot_check", now, req_id=req.req_id, trace_id=req.trace_id,
+                    algorithm=req.algorithm, ok=mismatch is None,
+                    detail="" if mismatch is None else f"vertex {mismatch[0]}",
+                )
             if mismatch is not None:
                 v, want, got = mismatch
                 self.metrics.inc("service.spot_check_failures", 1.0, now)
@@ -433,6 +572,19 @@ class QueryScheduler:
                 return seq
         self._finalize(req, RequestStatus.COMPLETED, now)
         self.metrics.inc("service.completed", 1.0, now)
+        if self.config.histograms:
+            rec = self._records[req.req_id]
+            self.metrics.observe("service.latency", rec.latency_ns, now, req.trace_id)
+            self.metrics.observe(
+                f"service.latency.{req.algorithm}", rec.latency_ns, now, req.trace_id
+            )
+            if rec.start_ns >= 0:
+                self.metrics.observe(
+                    "service.queue_wait",
+                    max(0.0, rec.start_ns - rec.arrival_ns),
+                    now,
+                    req.trace_id,
+                )
         return seq
 
     def _retry_or_fail(
@@ -443,6 +595,12 @@ class QueryScheduler:
         if retryable and req.attempts <= self.config.max_retries:
             backoff = self.config.backoff_ns * (2.0 ** (req.attempts - 1))
             self.metrics.inc("service.retried", 1.0, now)
+            if self._observe:
+                self._event(
+                    "retry", now, req_id=req.req_id, trace_id=req.trace_id,
+                    attempt=req.attempts, backoff_ns=backoff,
+                    retry_at_ns=now + backoff, error=repr(error),
+                )
             retry = Request(
                 req_id=req.req_id,
                 algorithm=req.algorithm,
@@ -454,6 +612,7 @@ class QueryScheduler:
                 arrival_ns=req.arrival_ns,  # latency measured from first arrival
                 timeout_ns=req.timeout_ns,
                 fail_attempts=req.fail_attempts,
+                trace_id=req.trace_id,  # retries stay in the same trace
             )
             retry.attempts = req.attempts
             heapq.heappush(events, (now + backoff, _ARRIVAL, seq, retry))
@@ -481,6 +640,7 @@ class QueryScheduler:
                 priority=req.priority,
                 status=RequestStatus.REJECTED,
                 arrival_ns=req.arrival_ns,
+                trace_id=req.trace_id,
             )
         return rec
 
@@ -490,6 +650,32 @@ class QueryScheduler:
         rec.finish_ns = now
         rec.attempts = max(rec.attempts, req.attempts)
         rec.reason = reason
+        if self._observe:
+            self._event(
+                "finish", now, req_id=req.req_id, trace_id=req.trace_id,
+                status=status.value, attempts=rec.attempts,
+                latency_ns=rec.latency_ns, reason=reason,
+            )
+        if (
+            status is RequestStatus.FAILED
+            and self.flight is not None
+            and self.config.flight_path
+            and self._flight_dump_path is None
+        ):
+            # first failure wins: the dump freezes the ring at the moment
+            # the failing request's events are still in it
+            self._flight_dump_path = str(
+                self.flight.dump_json(
+                    self.config.flight_path,
+                    reason=f"request {req.req_id} FAILED: {reason}",
+                    meta={
+                        "req_id": req.req_id,
+                        "trace_id": req.trace_id,
+                        "algorithm": req.algorithm,
+                        "graph": req.graph,
+                    },
+                )
+            )
 
     @staticmethod
     def _serialized_makespan(records: Sequence[RequestRecord]) -> float:

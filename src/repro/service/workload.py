@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.graph import generators as gen
 from repro.graph.coo import COOGraph
-from repro.service.request import Request
+from repro.service.request import Request, make_trace_id
 
 #: default algorithm mix (weights, not probabilities; normalized below)
 DEFAULT_ALGORITHM_MIX: Dict[str, float] = {
@@ -165,6 +165,9 @@ def generate_workload(
                 arrival_ns=clock,
                 timeout_ns=config.timeout_ns,
                 fail_attempts=1 if u[6] < config.fault_fraction else 0,
+                # hashed, not drawn: trace context must not perturb the
+                # RNG stream (the 7-draw block per request is pinned)
+                trace_id=make_trace_id(seed, req_id),
             )
         )
     return requests

@@ -127,16 +127,17 @@ class Queue:
         self.tracer = None
         self.memory.observer = None
 
-    def span(self, name: str, arg=None):
+    def span(self, name: str, arg=None, attrs=None):
         """Context manager opening a named span on the tracer.
 
         With tracing off this returns the shared no-op span, so callers
         can write ``with queue.span("bfs.iter", k):`` unconditionally.
+        ``attrs`` (trace_id, attempt, …) land in the exported event args.
         """
         tracer = self.tracer
         if tracer is None:
             return _NULL_SPAN
-        return tracer.span(name, arg)
+        return tracer.span(name, arg, attrs)
 
     # convenience passthroughs ------------------------------------------------
     def malloc_shared(self, shape, dtype, label: str = "", fill=None):

@@ -102,3 +102,45 @@ def test_queue_trace_module_flat_without_tracer(queue):
     events = queue_trace_events(queue)
     assert events, "untraced queue must keep the flat layout"
     assert all(e["ph"] == "X" for e in events)
+
+
+def test_zero_ts_counter_samples_get_monotonic_fallback(queue):
+    # regression: counters recorded without a timestamp (default ts_ns=0.0)
+    # used to collapse onto t=0 in the export, rendering as one spike
+    tracer = queue.enable_tracing()
+    for value in (1.0, 2.0, 3.0):
+        tracer.metrics.inc("untimestamped", 1.0)  # default ts_ns=0.0
+    events = trace_events(tracer)
+    ts = [e["ts"] for e in events if e["ph"] == "C" and e["name"] == "untimestamped"]
+    assert len(ts) == 3
+    assert ts[0] == 0.0  # a genuine t=0 sample can only be the first
+    assert ts == sorted(ts) and len(set(ts)) == 3, "series must not collapse"
+
+
+def test_ts_fallback_preserves_real_timestamps(queue):
+    tracer = queue.enable_tracing()
+    tracer.metrics.gauge("g", 1.0, ts_ns=5000.0)
+    tracer.metrics.gauge("g", 2.0)  # missing clock, falls back
+    tracer.metrics.gauge("g", 3.0, ts_ns=9000.0)
+    events = trace_events(tracer)
+    ts = [e["ts"] for e in events if e["ph"] == "C" and e["name"] == "g"]
+    assert ts[0] == 5.0 and ts[2] == 9.0  # real stamps emitted verbatim
+    assert ts[0] < ts[1] < ts[2]
+
+
+def test_span_attrs_exported_in_args(queue):
+    tracer = queue.enable_tracing()
+    with queue.span("outer", 1, attrs={"trace_id": "abcd", "attempt": 2}):
+        pass
+    events = trace_events(tracer)
+    begin = next(e for e in events if e["ph"] == "B" and e["name"] == "outer#1")
+    assert begin["args"]["trace_id"] == "abcd"
+    assert begin["args"]["attempt"] == 2
+
+
+def test_trace_events_pid_and_single_track_mode(queue):
+    tracer, _ = _traced_bfs(queue)
+    events = trace_events(tracer, pid=7, track="workerX")
+    assert all(e["pid"] == 7 for e in events)
+    span_tids = {e["tid"] for e in events if e.get("cat") in ("span", "kernel")}
+    assert span_tids <= {"workerX", "workerX/queue"}

@@ -1,0 +1,106 @@
+"""Flight recorder: ring bounds, dumps, and the `repro flight` CLI."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.obs.flight import (
+    DUMP_VERSION,
+    FlightRecorder,
+    format_flight,
+    run_flight,
+)
+
+
+def test_ring_is_bounded_and_counts_drops():
+    fr = FlightRecorder(capacity=4)
+    for i in range(10):
+        fr.record("tick", ts_ns=float(i), i=i)
+    assert len(fr) == 4
+    assert fr.recorded == 10
+    assert fr.dropped == 6
+    # retained events are the newest, oldest first, seq preserved
+    assert [e["seq"] for e in fr.events()] == [6, 7, 8, 9]
+    assert [e["i"] for e in fr.events()] == [6, 7, 8, 9]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+def test_events_filter_by_kind():
+    fr = FlightRecorder(8)
+    fr.record("admit", 1.0, req_id=1)
+    fr.record("dispatch", 2.0, req_id=1)
+    fr.record("admit", 3.0, req_id=2)
+    assert [e["req_id"] for e in fr.events("admit")] == [1, 2]
+    assert [e["kind"] for e in fr.events()] == ["admit", "dispatch", "admit"]
+
+
+def test_dump_payload_and_json_roundtrip(tmp_path):
+    fr = FlightRecorder(2)
+    fr.record("a", 1.0)
+    fr.record("b", 2.0)
+    fr.record("c", 3.0)  # evicts "a"
+    path = fr.dump_json(tmp_path / "dump.json", reason="test", meta={"req_id": 7})
+    dump = json.loads(path.read_text())
+    assert dump["flight_recorder"] == DUMP_VERSION
+    assert dump["reason"] == "test"
+    assert dump["meta"] == {"req_id": 7}
+    assert dump["capacity"] == 2
+    assert dump["recorded"] == 3
+    assert dump["dropped"] == 1
+    assert [e["kind"] for e in dump["events"]] == ["b", "c"]
+
+
+def test_format_flight_renders_events_and_meta():
+    fr = FlightRecorder(4)
+    fr.record("dispatch", 2_000_000.0, req_id=5, worker=1)
+    text = format_flight(fr.dump(reason="why", meta={"trace_id": "abc"}))
+    assert "why" in text
+    assert "trace_id=abc" in text  # meta line
+    assert "dispatch" in text
+    assert "req_id=5" in text
+    assert "2.000000 ms" in text
+
+
+def test_format_flight_empty_ring():
+    fr = FlightRecorder(4)
+    assert "(no events retained)" in format_flight(fr.dump())
+
+
+def _args(**kw):
+    ns = argparse.Namespace(input=None, kind=None, trace_args=[])
+    for k, v in kw.items():
+        setattr(ns, k, v)
+    return ns
+
+
+def test_run_flight_prints_dump(tmp_path, capsys):
+    fr = FlightRecorder(4)
+    fr.record("retry", 1.0, req_id=9)
+    path = fr.dump_json(tmp_path / "d.json", reason="r")
+    assert run_flight(_args(input=str(path))) == 0
+    out = capsys.readouterr().out
+    assert "retry" in out and "req_id=9" in out
+
+
+def test_run_flight_positional_and_kind_filter(tmp_path, capsys):
+    fr = FlightRecorder(4)
+    fr.record("admit", 1.0)
+    fr.record("retry", 2.0)
+    path = fr.dump_json(tmp_path / "d.json")
+    assert run_flight(_args(trace_args=[str(path)], kind="retry")) == 0
+    out = capsys.readouterr().out
+    assert "retry" in out and "admit" not in out
+
+
+def test_run_flight_missing_and_invalid_inputs(tmp_path, capsys):
+    assert run_flight(_args(input=str(tmp_path / "nope.json"))) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert run_flight(_args(input=str(bad))) == 2
+    out = capsys.readouterr().out
+    assert "error" in out

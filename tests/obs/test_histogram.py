@@ -1,0 +1,188 @@
+"""Histogram metrics: nearest-rank agreement, merge laws, exemplars."""
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import latency_summary, ns_to_ms, percentile
+from repro.obs import (
+    HISTOGRAM_BUCKET_BOUNDS_NS,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank,
+)
+from repro.obs.metrics import MetricsError
+
+
+def _random_samples(rng, n):
+    # span the full bucket range, including sub-100ns and >10s outliers
+    return list(10.0 ** rng.uniform(1.0, 10.5, size=n))
+
+
+# --------------------------------------------------------------------- #
+# quantile consistency with bench.reporting                             #
+# --------------------------------------------------------------------- #
+def test_nearest_rank_matches_percentile_property():
+    rng = np.random.default_rng(11)
+    for n in (1, 2, 3, 7, 50, 99, 100, 101, 997):
+        values = _random_samples(rng, n)
+        ordered = sorted(values)
+        for q in (0.0, 1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 99.9, 100.0):
+            assert nearest_rank(ordered, q) == percentile(values, q)
+
+
+def test_histogram_quantile_matches_latency_summary():
+    rng = np.random.default_rng(3)
+    values = _random_samples(rng, 200)
+    h = Histogram("service.latency")
+    for v in values:
+        h.observe(v)
+    summary = latency_summary(values)
+    assert ns_to_ms(h.quantile(50.0)) == summary["p50_ms"]
+    assert ns_to_ms(h.quantile(95.0)) == summary["p95_ms"]
+    assert ns_to_ms(h.quantile(99.0)) == summary["p99_ms"]
+    assert h.count == summary["count"]
+    assert ns_to_ms(h.sum / h.count) == summary["mean_ms"]
+
+
+def test_quantile_bounds_and_validation():
+    h = Histogram("h")
+    for v in (5.0, 1.0, 3.0):
+        h.observe(v)
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(100.0) == 5.0
+    with pytest.raises(ValueError):
+        h.quantile(101.0)
+    with pytest.raises(ValueError):
+        nearest_rank([1.0], -1.0)
+
+
+def test_empty_histogram_is_all_zeros():
+    h = Histogram("empty")
+    assert h.count == 0
+    assert h.mean == 0.0
+    assert h.quantile(99.0) == 0.0
+    assert h.quantile_exemplar(99.0) is None
+    assert h.exemplars() == {}
+    assert all(c == 0 for c in h.counts)
+
+
+# --------------------------------------------------------------------- #
+# buckets and exemplars                                                 #
+# --------------------------------------------------------------------- #
+def test_bucket_bounds_are_log_spaced_and_fixed():
+    bounds = HISTOGRAM_BUCKET_BOUNDS_NS
+    assert bounds[0] == pytest.approx(100.0)
+    assert bounds[-1] == pytest.approx(1e10)
+    ratios = [bounds[i + 1] / bounds[i] for i in range(len(bounds) - 1)]
+    assert all(r == pytest.approx(10.0 ** 0.25) for r in ratios)
+
+
+def test_bucket_counts_and_overflow():
+    h = Histogram("h")
+    h.observe(50.0)     # below first bound -> bucket 0
+    h.observe(150.0)    # between 100 and ~178 -> bucket 1
+    h.observe(1e12)     # beyond last bound -> overflow bucket
+    assert h.counts[0] == 1
+    assert h.counts[1] == 1
+    assert h.counts[-1] == 1
+    assert sum(h.counts) == h.count == 3
+
+
+def test_bucket_exemplar_keeps_worst_sample():
+    h = Histogram("h")
+    h.observe(120.0, ts_ns=1.0, trace_id="aa")
+    h.observe(160.0, ts_ns=2.0, trace_id="bb")  # same bucket, larger
+    h.observe(110.0, ts_ns=3.0, trace_id="cc")  # same bucket, smaller
+    idx = Histogram.bucket_index(120.0)
+    ex = h.exemplars()[idx]
+    assert (ex.value, ex.trace_id) == (160.0, "bb")
+
+
+def test_quantile_exemplar_resolves_to_the_quantile_sample():
+    h = Histogram("h")
+    traces = {}
+    rng = np.random.default_rng(9)
+    for i, v in enumerate(_random_samples(rng, 101)):
+        tid = f"trace{i:03d}"
+        h.observe(v, ts_ns=float(i), trace_id=tid)
+        traces[v] = tid
+    for q in (50.0, 95.0, 99.0, 100.0):
+        ex = h.quantile_exemplar(q)
+        assert ex.value == h.quantile(q)
+        assert ex.trace_id == traces[ex.value]
+
+
+# --------------------------------------------------------------------- #
+# merge laws                                                            #
+# --------------------------------------------------------------------- #
+def _hist(name, values, tag):
+    h = Histogram(name)
+    for i, v in enumerate(values):
+        h.observe(v, ts_ns=float(i), trace_id=f"{tag}{i}")
+    return h
+
+
+def _same(a: Histogram, b: Histogram):
+    assert a.counts == b.counts
+    assert a.sum == pytest.approx(b.sum)
+    assert a.count == b.count
+    assert a.quantile(99.0) == b.quantile(99.0)
+    ea, eb = a.exemplars(), b.exemplars()
+    assert set(ea) == set(eb)
+    for i in ea:
+        assert (ea[i].value, ea[i].ts_ns, ea[i].trace_id) == (
+            eb[i].value, eb[i].ts_ns, eb[i].trace_id,
+        )
+
+
+def test_merge_is_associative():
+    rng = np.random.default_rng(4)
+    a = _hist("m", _random_samples(rng, 31), "a")
+    b = _hist("m", _random_samples(rng, 17), "b")
+    c = _hist("m", _random_samples(rng, 23), "c")
+    _same(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+
+def test_merge_identity_and_totals():
+    rng = np.random.default_rng(5)
+    a = _hist("m", _random_samples(rng, 40), "a")
+    empty = Histogram("m")
+    _same(a.merge(empty), a)
+    _same(empty.merge(a), a)
+    b = _hist("m", _random_samples(rng, 25), "b")
+    merged = a.merge(b)
+    assert merged.count == a.count + b.count
+    assert merged.sum == pytest.approx(a.sum + b.sum)
+    # merged quantile == quantile over the pooled samples
+    pooled = [s.value for s in a.samples] + [s.value for s in b.samples]
+    assert merged.quantile(95.0) == percentile(pooled, 95)
+
+
+# --------------------------------------------------------------------- #
+# registry integration                                                  #
+# --------------------------------------------------------------------- #
+def test_registry_observe_creates_histogram():
+    reg = MetricsRegistry()
+    reg.observe("service.latency", 1500.0, ts_ns=10.0, trace_id="t1")
+    reg.observe("service.latency", 2500.0, ts_ns=20.0, trace_id="t2")
+    h = reg.histogram("service.latency")
+    assert h.count == 2
+    assert reg.histograms() == [h]
+    assert h.quantile_exemplar(100.0).trace_id == "t2"
+    # histograms are excluded from the counter/gauge listings
+    assert reg.counters() == []
+    assert reg.gauges() == []
+
+
+def test_kind_collision_message_names_metric_and_both_kinds():
+    reg = MetricsRegistry()
+    reg.observe("lat", 1.0)
+    with pytest.raises(MetricsError, match="'lat' is a histogram, not a counter"):
+        reg.inc("lat")
+    with pytest.raises(MetricsError, match="use a different name for the gauge"):
+        reg.gauge("lat", 2.0)
+    reg.inc("reqs")
+    with pytest.raises(
+        MetricsError, match="'reqs' is a counter.*first registered as a counter"
+    ):
+        reg.observe("reqs", 1.0)

@@ -145,3 +145,29 @@ def test_shared_tracer_across_queues():
         _submit_one(q1)
         _submit_one(q2)
     assert tracer.root.children[0].kernel_count() == 2
+
+
+def test_iteration_breakdown_none_tracer_returns_empty():
+    # regression: callers holding queue.tracer (None when tracing is off)
+    # could pass it straight through; that must not raise
+    assert iteration_breakdown(None) == []
+
+
+def test_iteration_breakdown_empty_tracer_returns_empty():
+    assert iteration_breakdown(SpanTracer()) == []
+
+
+def test_iteration_breakdown_tracer_without_iterations(queue):
+    tracer = queue.enable_tracing()
+    with queue.span("algo", 0):
+        _submit_one(queue)
+    assert iteration_breakdown(tracer) == []
+
+
+def test_span_attrs_recorded_on_spans(queue):
+    queue.enable_tracing()
+    with queue.span("s", 0, attrs={"trace_id": "feed", "k": 1}) as span:
+        assert span.attrs == {"trace_id": "feed", "k": 1}
+    # attrs default to an independent dict per span
+    with queue.span("s", 1) as other:
+        assert other.attrs == {}
