@@ -24,6 +24,15 @@ the same work.
 Output: ``BENCH_pr3.json`` at the repo root (override with ``--output``),
 including a ``hot_loop`` aggregate for the BFS/2lb chain case whose
 ``speedup`` field is the PR's headline number.
+
+``--dist`` instead benchmarks the multi-GPU BSP engine (:mod:`repro.dist`):
+distributed BFS/SSSP/CC at 2 and 4 devices over the same golden graphs,
+emitting ``BENCH_pr8.json`` with per-run BSP makespan (corrected
+sum-of-superstep-barriers form plus the naive lower bound), exchange
+time, and ghost-exchange wire bytes against the uncompressed id-list
+bytes — the numbers the SLO gate watches for comm-cost drift.  The run
+fails if any distributed result diverges from the single-device digest
+or any wire payload exceeds its id-list equivalent.
 """
 
 from __future__ import annotations
@@ -55,6 +64,13 @@ HOT_LOOP_GRAPH = "chain"
 
 LAYOUTS = ("2lb", "bitmap", "vector", "boolmap")
 ALGORITHMS = ("bfs", "sssp", "cc")
+
+#: gang sizes the --dist mode sweeps
+DIST_DEVICES = (2, 4)
+#: the aggregate the distributed SLO drift check reads
+DIST_HOT_ALGORITHM = "bfs"
+DIST_HOT_GRAPH = "power_law"
+DIST_HOT_DEVICES = 4
 
 
 def chain_graph(n: int) -> COOGraph:
@@ -148,17 +164,123 @@ def bench_case(algorithm: str, graph_name: str, coo, coo_und, layout: str, repea
     }
 
 
+def bench_dist_case(algorithm: str, graph_name: str, coo, n_devices: int, ref_digest: str) -> dict:
+    from repro.dist import distributed_bfs, distributed_cc, distributed_sssp
+
+    if algorithm == "bfs":
+        res = distributed_bfs(coo, n_devices, 0)
+    elif algorithm == "sssp":
+        res = distributed_sssp(coo, n_devices, 0)
+    else:
+        res = distributed_cc(coo, n_devices)
+    return {
+        "algorithm": algorithm,
+        "graph": graph_name,
+        "devices": n_devices,
+        "supersteps": int(res.iterations),
+        "makespan_ns": round(res.makespan_ns, 3),
+        "makespan_naive_ns": round(res.makespan_naive_ns, 3),
+        "exchange_ns": round(res.exchange_ns, 3),
+        "ghost_messages": int(res.ghost_messages),
+        "ghost_vertices": int(res.ghost_vertices),
+        "wire_bytes": int(res.wire_bytes),
+        "idlist_bytes": int(res.idlist_bytes),
+        "bitmap_bytes": int(res.bitmap_bytes),
+        "compression_ok": bool(res.wire_bytes <= res.idlist_bytes),
+        # corrected makespan (sum of superstep barriers) can never beat
+        # the naive max-total-plus-exchange lower bound
+        "makespan_ge_naive": bool(res.makespan_ns >= res.makespan_naive_ns - 1e-6),
+        "results_match": result_digest(algorithm, res) == ref_digest,
+    }
+
+
+def run_dist(args) -> int:
+    """The --dist mode: BSP engine benchmark, emits BENCH_pr8.json."""
+    entries = []
+    for graph_name, coo in make_cases(args.quick, args.seed):
+        q = Queue(get_device("v100s"), enable_profiling=False, capacity_limit=0)
+        b = GraphBuilder(q)
+        graph = b.to_csr(coo)
+        # CC references run on the symmetrized graph, exactly like the
+        # distributed engine does internally
+        graph_und = b.to_csr(coo.symmetrized())
+        for algorithm in ALGORITHMS:
+            ref_digest = result_digest(
+                algorithm, run_algorithm(algorithm, graph, graph_und, "2lb")
+            )
+            for n_devices in DIST_DEVICES:
+                entry = bench_dist_case(algorithm, graph_name, coo, n_devices, ref_digest)
+                entries.append(entry)
+                flag = "" if (
+                    entry["results_match"] and entry["compression_ok"] and entry["makespan_ge_naive"]
+                ) else "  <-- MISMATCH"
+                print(
+                    f"{algorithm:5s} {graph_name:12s} {n_devices}dev "
+                    f"makespan={entry['makespan_ns']:12.0f}ns "
+                    f"(naive {entry['makespan_naive_ns']:12.0f}ns) "
+                    f"wire={entry['wire_bytes']:9d}B idlist={entry['idlist_bytes']:9d}B "
+                    f"steps={entry['supersteps']}{flag}"
+                )
+
+    hot = next(
+        e
+        for e in entries
+        if e["algorithm"] == DIST_HOT_ALGORITHM
+        and e["graph"] == DIST_HOT_GRAPH
+        and e["devices"] == DIST_HOT_DEVICES
+    )
+    report = {
+        "benchmark": "trajectory-dist",
+        "pr": 8,
+        "mode": "quick" if args.quick else "full",
+        "seed": args.seed,
+        "device_pools": list(DIST_DEVICES),
+        "hot": {
+            "case": f"{DIST_HOT_ALGORITHM}/{DIST_HOT_DEVICES}dev/{DIST_HOT_GRAPH}",
+            "makespan_ns": hot["makespan_ns"],
+            "wire_bytes": hot["wire_bytes"],
+            "idlist_bytes": hot["idlist_bytes"],
+        },
+        "all_results_match": all(e["results_match"] for e in entries),
+        "all_compressed": all(e["compression_ok"] for e in entries),
+        "entries": entries,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\ndist hot case {report['hot']['case']}: makespan {hot['makespan_ns']:.0f}ns, "
+          f"wire {hot['wire_bytes']}B <= idlist {hot['idlist_bytes']}B")
+    print(f"wrote {args.output}")
+
+    bad = [
+        e for e in entries
+        if not (e["results_match"] and e["compression_ok"] and e["makespan_ge_naive"])
+    ]
+    if bad:
+        print(f"ERROR: {len(bad)} distributed entries with result/compression drift", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--quick", action="store_true", help="smaller graphs, fewer repeats (CI)")
     parser.add_argument("--repeats", type=int, default=None, help="timing passes per mode (best-of)")
     parser.add_argument("--seed", type=int, default=7, help="graph generator seed")
     parser.add_argument(
+        "--dist", action="store_true",
+        help="benchmark the repro.dist BSP engine instead (emits BENCH_pr8.json)",
+    )
+    parser.add_argument(
         "--output",
-        default=str(Path(__file__).resolve().parent.parent / "BENCH_pr3.json"),
-        help="output JSON path (default: repo-root BENCH_pr3.json)",
+        default=None,
+        help="output JSON path (default: repo-root BENCH_pr3.json, or "
+        "BENCH_pr8.json with --dist)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        name = "BENCH_pr8.json" if args.dist else "BENCH_pr3.json"
+        args.output = str(Path(__file__).resolve().parent.parent / name)
+    if args.dist:
+        return run_dist(args)
     repeats = args.repeats or (3 if args.quick else 5)
 
     entries = []

@@ -47,6 +47,11 @@ def add_check_arguments(parser) -> None:
         "--backends", default=None, help="comma-separated subset (default: all three)"
     )
     group.add_argument(
+        "--distributed", nargs="?", const="1,2,4", default=None, metavar="DEVICES",
+        help="also sweep repro.dist BFS/SSSP/CC at these device counts, "
+             "comma-separated (bare flag = 1,2,4)",
+    )
+    group.add_argument(
         "--verbose", action="store_true", help="print each configuration as it runs"
     )
 
@@ -100,6 +105,19 @@ def run_check(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
+    distributed: Tuple[int, ...] = ()
+    if args.distributed is not None:
+        try:
+            distributed = tuple(
+                int(tok) for tok in args.distributed.split(",") if tok.strip()
+            )
+        except ValueError:
+            print(f"error: invalid --distributed {args.distributed!r} "
+                  "(expected comma-separated device counts)")
+            return 2
+        if any(d < 1 for d in distributed):
+            print("error: --distributed device counts must be >= 1")
+            return 2
 
     report = differential.run_differential(
         algorithms=_parse_list(args.algorithms, differential.ALGORITHMS),
@@ -109,6 +127,7 @@ def run_check(args) -> int:
         strict=args.strict,
         seed=args.seed,
         scale="full" if args.full else "quick",
+        distributed=distributed,
         progress=print if args.verbose else None,
     )
     print(report.summary())

@@ -44,6 +44,9 @@ LAYOUTS = ("2lb", "bitmap", "vector", "boolmap")
 #: two reuse the bfs/sssp oracles since they compute identical results)
 ALGORITHMS = ("bfs", "sssp", "cc", "bc", "pagerank", "dobfs", "delta_stepping")
 
+#: algorithms with a repro.dist BSP implementation (the distributed mode)
+DIST_ALGORITHMS = ("bfs", "sssp", "cc")
+
 
 @dataclass(frozen=True)
 class RunConfig:
@@ -106,6 +109,8 @@ class DifferentialReport:
     backends: List[str] = field(default_factory=list)
     cases: List[str] = field(default_factory=list)
     strict: bool = False
+    #: device counts swept by the distributed (repro.dist) mode, if any
+    distributed: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -120,6 +125,10 @@ class DifferentialReport:
             f"  backends:   {' '.join(self.backends)}",
             f"  cases:      {' '.join(self.cases)}",
         ]
+        if self.distributed:
+            lines.append(
+                "  distributed: " + " ".join(f"{d}dev" for d in self.distributed)
+            )
         if self.ok:
             lines.append("PASS: all configurations agree with the oracle and each other")
         else:
@@ -191,6 +200,27 @@ def _run_framework(
     if cfg.algorithm == "pagerank":
         return pagerank(csr, layout=cfg.layout, bits=cfg.bits).ranks
     raise ValueError(f"unknown algorithm {cfg.algorithm!r}")
+
+
+def _run_distributed(
+    case: graphgen.GraphCase, algorithm: str, n_devices: int, layout: str, bits: Optional[int]
+) -> np.ndarray:
+    """One distributed-mode cell: run repro.dist's BSP algorithm."""
+    from repro.dist import distributed_bfs, distributed_cc, distributed_sssp
+
+    if algorithm == "bfs":
+        return distributed_bfs(
+            case.coo, n_devices, case.source, layout=layout, bits=bits
+        ).distances
+    if algorithm == "sssp":
+        return distributed_sssp(
+            case.coo, n_devices, case.source, layout=layout, bits=bits
+        ).distances
+    if algorithm == "cc":
+        return _canonical_labels(
+            distributed_cc(case.coo, n_devices, layout=layout, bits=bits).labels
+        )
+    raise ValueError(f"algorithm {algorithm!r} has no distributed implementation")
 
 
 #: per-algorithm result comparators -> indices of mismatching vertices
@@ -295,6 +325,7 @@ def run_differential(
     strict: bool = False,
     seed: int = 0,
     scale: str = "quick",
+    distributed: Sequence[int] = (),
     progress: Optional[Callable[[str], None]] = None,
 ) -> DifferentialReport:
     """Sweep the full matrix and diff everything against everything.
@@ -304,6 +335,11 @@ def run_differential(
     matrix's first run of that case/algorithm (the cross-configuration
     diff).  BFS layout-pair mismatches additionally get a frontier trace
     to locate the first divergent superstep.
+
+    ``distributed`` lists device counts to sweep through the
+    :mod:`repro.dist` BSP engine: for each count, every distributed
+    algorithm (BFS/SSSP/CC) runs over layouts × widths and must be
+    **bit-equal** to the oracle and to the case's single-device baseline.
 
     ``strict=True`` wraps every run in
     :func:`repro.checking.invariants.strict_mode`, so frontier invariants
@@ -317,6 +353,7 @@ def run_differential(
         backends=list(backends),
         cases=[c.name for c in cases],
         strict=strict,
+        distributed=list(distributed),
     )
 
     for case in cases:
@@ -385,6 +422,44 @@ def run_differential(
                                         *miss,
                                         iteration=iteration,
                                     )
+                                )
+
+        # distributed mode: repro.dist BSP runs, bit-equal to the oracle
+        # and to this case's single-device baseline
+        dist_algorithms = [a for a in algorithms if a in DIST_ALGORITHMS]
+        for n_devices in distributed:
+            for algorithm in dist_algorithms:
+                if algorithm not in oracle_cache:
+                    oracle_cache[algorithm] = _oracle_result(case, algorithm)
+                want = oracle_cache[algorithm]
+                for layout in layouts:
+                    for bits in _widths_for(layout, widths):
+                        cfg = RunConfig(f"dist_{algorithm}", layout, f"{n_devices}dev", bits)
+                        if progress:
+                            progress(f"{case.name}: {cfg.describe()}")
+                        try:
+                            got = _run_distributed(case, algorithm, n_devices, layout, bits)
+                        except Exception as exc:  # noqa: BLE001 — report, don't abort the sweep
+                            report.errors.append(
+                                RunError(case.name, cfg, f"{type(exc).__name__}: {exc}")
+                            )
+                            continue
+                        report.n_runs += 1
+
+                        report.n_comparisons += 1
+                        miss = _first_mismatch(algorithm, got, want)
+                        if miss is not None:
+                            report.divergences.append(
+                                Divergence(case.name, cfg, "oracle", *miss)
+                            )
+
+                        if algorithm in baselines:
+                            base_cfg, base = baselines[algorithm]
+                            report.n_comparisons += 1
+                            miss = _first_mismatch(algorithm, got, base)
+                            if miss is not None:
+                                report.divergences.append(
+                                    Divergence(case.name, cfg, base_cfg.describe(), *miss)
                                 )
     return report
 

@@ -117,6 +117,34 @@ def disconnected(n_components: int = 3, component_size: int = 10, seed: Optional
     return coo.without_self_loops()
 
 
+def isolated_ghosts(n: int = 33, seed: Optional[int] = None) -> COOGraph:
+    """Isolated vertices in front of a hub-heavy tail — the distributed
+    partitioner's worst case.
+
+    Vertices ``0..7`` have no incident edges at all, so the out-degree
+    cumsum is flat across them and then jumps at the hub (vertex 8, which
+    fans out to every later vertex): a *front-loaded* edge mass whose
+    equal-mass cut points coincide, forcing ``partition_static`` to
+    collapse cuts and return fewer, non-empty partitions.  Pairing it
+    with a high-id source (a vertex owned by the *last* partition) makes
+    the distributed sweep cover a non-owner source, empty-frontier
+    devices, and ghost traffic flowing backwards into low partitions.
+    """
+    if n < 12:
+        raise ValueError("isolated_ghosts needs n >= 12")
+    rng = _rng(seed)
+    hub = 8
+    spokes = np.arange(hub + 1, n, dtype=np.int64)
+    src = np.concatenate([np.full(spokes.size, hub, dtype=np.int64), spokes])
+    dst = np.concatenate([spokes, np.full(spokes.size, hub, dtype=np.int64)])
+    extra_src = rng.integers(hub, n, size=n // 2)
+    extra_dst = rng.integers(hub, n, size=n // 2)
+    keep = extra_src != extra_dst
+    src = np.concatenate([src, extra_src[keep]])
+    dst = np.concatenate([dst, extra_dst[keep]])
+    return COOGraph(n, src, dst)
+
+
 def power_law(n: int = 48, avg_degree: float = 3.0, exponent: float = 2.0, seed: Optional[int] = None) -> COOGraph:
     """Heavy-tailed random graph: endpoints drawn from a Zipf-ish law.
 
@@ -164,6 +192,9 @@ def adversarial_suite(seed: int = 0, scale: str = "quick") -> List[GraphCase]:
         GraphCase("chain", chain(32 * k)),
         GraphCase("disconnected", disconnected(3, 10 * k, seed=seed + 2)),
         GraphCase("power-law", power_law(48 * k, seed=seed + 3)),
+        # non-owner source: owned by the last partition under any static
+        # split; the leading vertices are isolated (see isolated_ghosts)
+        GraphCase("isolated-ghosts", isolated_ghosts(33 * k, seed=seed + 5), source=33 * k - 3),
     ]
     # one weighted case so SSSP exercises non-unit weights
     weighted = _weighted(power_law(40 * k, seed=seed + 4), rng)

@@ -15,8 +15,9 @@ users plug custom representations implementing an iterator interface
   datasets (DESIGN.md substitution #3);
 * :mod:`~repro.graph.io` — edge-list / MatrixMarket / NPZ readers and
   writers (the SYgraph IO API);
-* :mod:`~repro.graph.partition` — static partitioning hook for the
-  multi-GPU future-work sketch in the paper's conclusion.
+* :mod:`~repro.graph.partition` — compatibility shim for the static
+  partitioner, which now lives in :mod:`repro.dist.partition` (the
+  multi-GPU subsystem grown from the paper's future-work sketch).
 """
 
 from repro.graph.builder import GraphBuilder, from_edges

@@ -1,126 +1,23 @@
-"""Multi-GPU BSP execution preview — the paper's conclusion sketch.
-
-"SYgraph is well-suited for multi-GPU and multi-node extensions using
-static graph partitioning, where each GPU handles a local subgraph and can
-precompute frontier sizes."
-
-:func:`distributed_bfs` runs a bulk-synchronous BFS across the static
-partitions of :mod:`repro.graph.partition`: each (simulated) GPU owns a
-contiguous vertex range and the out-edges of its vertices, advances its
-local frontier each superstep, and ships discovered *ghost* vertices to
-their owners between supersteps.  Results are bit-identical to the
-single-device BFS; the per-device simulated times expose the balance of
-the partitioning.
-
-This is a preview of future work, deliberately minimal: synchronous
-supersteps, full ghost exchange (no aggregation tricks), BFS only.
+"""Backward-compatibility shim: the multi-GPU BSP preview grew into the
+:mod:`repro.dist` subsystem (BFS/SSSP/CC over one superstep engine,
+modeled interconnect, 2LB-compressed ghost exchange).  Import from
+:mod:`repro.dist` in new code.
 """
 
-from __future__ import annotations
+from repro.dist.algorithms import (  # noqa: F401
+    DistributedBFSResult,
+    DistributedCCResult,
+    DistributedSSSPResult,
+    distributed_bfs,
+    distributed_cc,
+    distributed_sssp,
+)
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
-
-import numpy as np
-
-from repro.frontier import FrontierView, make_frontier
-from repro.graph.builder import GraphBuilder
-from repro.graph.coo import COOGraph
-from repro.graph.partition import partition_static
-from repro.operators import advance
-from repro.sycl.device import Device
-from repro.sycl.queue import Queue
-
-#: modeled interconnect bandwidth for ghost exchanges (NVLink-class), B/ns
-EXCHANGE_GBS = 150.0
-#: per-superstep all-to-all latency, ns (scaled like kernel launches)
-EXCHANGE_LATENCY_NS = 400.0
-
-
-@dataclass
-class DistributedBFSResult:
-    """Global distances plus per-device accounting."""
-
-    distances: np.ndarray
-    iterations: int
-    device_times_ns: List[float]
-    exchange_ns: float
-    ghost_messages: int
-
-    @property
-    def makespan_ns(self) -> float:
-        """BSP makespan: slowest device per superstep ~ max total + comms."""
-        return max(self.device_times_ns) + self.exchange_ns
-
-
-def distributed_bfs(
-    coo: COOGraph,
-    n_devices: int,
-    source: int,
-    devices: Optional[Sequence[Device]] = None,
-    layout: str = "2lb",
-) -> DistributedBFSResult:
-    """BSP BFS over ``n_devices`` statically partitioned (simulated) GPUs."""
-    n = coo.n_vertices
-    if not (0 <= source < n):
-        raise ValueError(f"source {source} out of range [0, {n})")
-    parts = partition_static(coo, n_devices)
-    queues = [
-        Queue(devices[i] if devices else None, capacity_limit=0)
-        for i in range(n_devices)
-    ]
-    # each device holds the subgraph of its owned vertices' out-edges,
-    # in the global id space (ghost dst ids resolve locally)
-    graphs = [GraphBuilder(q).to_csr(p.local) for q, p in zip(queues, parts)]
-    frontiers = [make_frontier(q, n, FrontierView.VERTEX, layout=layout) for q in queues]
-    out_frontiers = [make_frontier(q, n, FrontierView.VERTEX, layout=layout) for q in queues]
-
-    dist = np.full(n, -1, dtype=np.int64)
-    dist[source] = 0
-    owner_of_source = next(p.index for p in parts if p.owns(np.array([source]))[0])
-    frontiers[owner_of_source].insert(source)
-
-    iteration = 0
-    exchange_ns = 0.0
-    ghost_messages = 0
-    while any(not f.empty() for f in frontiers) and iteration <= n:
-        depth = iteration + 1
-        discovered_per_part: List[np.ndarray] = []
-        for part, g, q, fin, fout in zip(parts, graphs, queues, frontiers, out_frontiers):
-            if fin.empty():
-                discovered_per_part.append(np.empty(0, dtype=np.int64))
-                continue
-            advance.frontier(g, fin, fout, lambda s, d, e, w: dist[d] == -1).wait()
-            discovered_per_part.append(fout.active_elements())
-
-        # BSP exchange: discovered vertices go to their owners; owners
-        # stamp depths and seed the next superstep's frontier
-        all_discovered = (
-            np.unique(np.concatenate(discovered_per_part))
-            if any(d.size for d in discovered_per_part)
-            else np.empty(0, dtype=np.int64)
-        )
-        fresh = all_discovered[dist[all_discovered] == -1]
-        dist[fresh] = depth
-
-        ghosts = 0
-        for part, q, fin, fout in zip(parts, queues, frontiers, out_frontiers):
-            fin.clear()
-            owned = fresh[part.owns(fresh)]
-            if owned.size:
-                fin.insert(owned)
-            # ghosts this device discovered but does not own
-            mine = discovered_per_part[part.index]
-            ghosts += int((~part.owns(mine)).sum())
-            fout.clear()
-        ghost_messages += ghosts
-        exchange_ns += EXCHANGE_LATENCY_NS + (ghosts * 8) / EXCHANGE_GBS
-        iteration += 1
-
-    return DistributedBFSResult(
-        distances=dist,
-        iterations=iteration,
-        device_times_ns=[q.elapsed_ns for q in queues],
-        exchange_ns=exchange_ns,
-        ghost_messages=ghost_messages,
-    )
+__all__ = [
+    "DistributedBFSResult",
+    "DistributedSSSPResult",
+    "DistributedCCResult",
+    "distributed_bfs",
+    "distributed_sssp",
+    "distributed_cc",
+]

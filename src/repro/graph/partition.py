@@ -1,83 +1,14 @@
-"""Static graph partitioning — the multi-GPU hook from the paper's
-conclusion.
-
-"SYgraph is well-suited for multi-GPU and multi-node extensions using
-static graph partitioning, where each GPU handles a local subgraph and
-can precompute frontier sizes."  We implement that static 1-D partitioner:
-contiguous vertex ranges balanced by *edge count* (so dense partitions do
-not overload one device), plus the ghost-vertex bookkeeping a BSP exchange
-would need.  Tested, not benchmarked (multi-GPU execution itself is the
-paper's future work).
+"""Backward-compatibility shim: static partitioning moved to
+:mod:`repro.dist.partition` when the multi-GPU preview was promoted to
+the ``repro.dist`` subsystem.  Import from :mod:`repro.dist` in new code.
 """
 
-from __future__ import annotations
+from repro.dist.partition import (  # noqa: F401
+    Partition,
+    edge_balance,
+    owner_of,
+    partition_bounds,
+    partition_static,
+)
 
-from dataclasses import dataclass
-from typing import List
-
-import numpy as np
-
-from repro.graph.coo import COOGraph
-
-
-@dataclass
-class Partition:
-    """One device's share of a statically partitioned graph."""
-
-    index: int
-    vertex_lo: int      # inclusive global id of first owned vertex
-    vertex_hi: int      # exclusive
-    local: COOGraph     # edges whose source is owned, ids global
-    ghost_vertices: np.ndarray  # owned-edge destinations owned elsewhere
-
-    @property
-    def n_owned(self) -> int:
-        return self.vertex_hi - self.vertex_lo
-
-    def owns(self, vertices: np.ndarray) -> np.ndarray:
-        v = np.asarray(vertices)
-        return (v >= self.vertex_lo) & (v < self.vertex_hi)
-
-
-def partition_static(coo: COOGraph, n_parts: int) -> List[Partition]:
-    """Split vertices into ``n_parts`` contiguous ranges with balanced
-    out-edge counts (greedy prefix cut on the degree cumsum)."""
-    if n_parts < 1:
-        raise ValueError("n_parts must be >= 1")
-    n = coo.n_vertices
-    out_deg = np.bincount(coo.src.astype(np.int64), minlength=n)
-    cum = np.concatenate(([0], np.cumsum(out_deg)))
-    total = cum[-1]
-    # cut points at equal edge mass
-    targets = (np.arange(1, n_parts) * total) // n_parts
-    cuts = np.searchsorted(cum, targets, side="left")
-    bounds = np.concatenate(([0], cuts, [n])).astype(np.int64)
-    bounds = np.maximum.accumulate(bounds)  # guard degenerate empty ranges
-
-    parts: List[Partition] = []
-    src = coo.src.astype(np.int64)
-    dst = coo.dst.astype(np.int64)
-    for i in range(n_parts):
-        lo, hi = int(bounds[i]), int(bounds[i + 1])
-        mask = (src >= lo) & (src < hi)
-        psrc, pdst = src[mask], dst[mask]
-        w = None if coo.weights is None else coo.weights[mask]
-        ghosts = np.unique(pdst[(pdst < lo) | (pdst >= hi)])
-        parts.append(
-            Partition(
-                index=i,
-                vertex_lo=lo,
-                vertex_hi=hi,
-                local=COOGraph(n, psrc, pdst, w),
-                ghost_vertices=ghosts,
-            )
-        )
-    return parts
-
-
-def edge_balance(parts: List[Partition]) -> float:
-    """Max/mean edge-count ratio across partitions (1.0 = perfect)."""
-    counts = np.array([p.local.n_edges for p in parts], dtype=np.float64)
-    if counts.sum() == 0:
-        return 1.0
-    return float(counts.max() / counts.mean())
+__all__ = ["Partition", "partition_static", "partition_bounds", "owner_of", "edge_balance"]

@@ -15,7 +15,13 @@ either way (CI uploads it as the PR's benchmark artifact):
   (``bfs/2lb/chain``) is recomputed in-process and compared to the
   baseline file.  Modeled time is deterministic, so the default allowed
   drift is **exactly 0%**: any movement means the cost model or an
-  algorithm changed and the trajectory needs regenerating on purpose.
+  algorithm changed and the trajectory needs regenerating on purpose;
+* **distributed comm-cost drift** — when a ``--dist-baseline``
+  (``BENCH_pr8.json``, from ``benchmarks/trajectory.py --dist``) is
+  present, its hot case's BSP makespan and ghost-exchange wire bytes are
+  recomputed and diffed the same way (deterministic, 0% default budget).
+  Missing baselines skip the check, keeping the gate non-blocking for
+  trees that never ran the distributed benchmark.
 
 The gate runs the serving simulation itself (smoke preset, histograms
 on) unless ``--report`` points at a ``serve-sim --report`` JSON to
@@ -46,6 +52,9 @@ class SLOThresholds:
     #: hot-loop modeled-ns movement vs baseline, percent.  Modeled time
     #: is deterministic — the default tolerance is exactly zero.
     max_modeled_drift_pct: float = 0.0
+    #: distributed hot-case movement (worst of BSP makespan ns and
+    #: ghost-exchange wire bytes) vs the --dist-baseline, percent
+    max_dist_drift_pct: float = 0.0
 
 
 def evaluate_slo(summary: dict, thresholds: SLOThresholds) -> List[str]:
@@ -86,6 +95,14 @@ def evaluate_slo(summary: dict, thresholds: SLOThresholds) -> List[str]:
             f"hot-loop modeled ns drifted {summary['modeled_drift_pct']:+.4f}% vs "
             f"baseline (allowed ±{thresholds.max_modeled_drift_pct:.4f}%)"
         )
+    if (
+        "dist_drift_pct" in summary
+        and abs(summary["dist_drift_pct"]) > thresholds.max_dist_drift_pct
+    ):
+        v.append(
+            f"distributed hot case drifted {summary['dist_drift_pct']:+.4f}% vs "
+            f"baseline (allowed ±{thresholds.max_dist_drift_pct:.4f}%)"
+        )
     return v
 
 
@@ -96,6 +113,16 @@ def add_slo_arguments(parser) -> None:
         "--baseline", default="BENCH_pr3.json", metavar="PATH",
         help="trajectory baseline the modeled-ns drift check compares "
         "against (default BENCH_pr3.json)",
+    )
+    group.add_argument(
+        "--dist-baseline", default="BENCH_pr8.json", metavar="PATH",
+        help="distributed trajectory baseline (from `trajectory.py --dist`); "
+        "the comm-cost drift check is skipped when the file is absent "
+        "(default BENCH_pr8.json)",
+    )
+    group.add_argument(
+        "--max-dist-drift-pct", type=float, default=None,
+        help="allowed distributed makespan/wire-bytes drift, percent (default 0)",
     )
     group.add_argument(
         "--slo-report", default=None, metavar="PATH",
@@ -134,6 +161,7 @@ def _thresholds_from_args(args) -> SLOThresholds:
         ("max_spot_check_failures", "max_spot_check_failures"),
         ("max_failed", "max_failed"),
         ("max_drift_pct", "max_modeled_drift_pct"),
+        ("max_dist_drift_pct", "max_dist_drift_pct"),
     ):
         val = getattr(args, flag, None)
         if val is not None:
@@ -249,6 +277,45 @@ def _drift_summary(baseline_path: str) -> dict:
     }
 
 
+def _dist_drift_summary(baseline_path: str) -> dict:
+    """Recompute the distributed hot case and diff makespan + wire bytes.
+
+    Both are deterministic functions of (graph, seed, device count), so
+    any movement means the BSP engine, interconnect model, or wire
+    format changed — exactly the comm-cost drift the gate exists to
+    catch.  The reported ``dist_drift_pct`` is the worse of the two.
+    """
+    from repro.checking import graphgen
+    from repro.dist import distributed_bfs
+
+    base = json.loads(Path(baseline_path).read_text())
+    hot = base.get("hot", {})
+    case = hot.get("case", "bfs/4dev/power_law")
+    n_devices = int(case.split("/")[1].rstrip("dev"))
+    n = 1500 if base.get("mode") == "quick" else 4000
+    coo = graphgen.power_law(n=n, avg_degree=6.0, seed=base.get("seed", 7))
+    res = distributed_bfs(coo, n_devices, 0)
+    base_makespan = float(hot.get("makespan_ns", 0.0))
+    base_wire = int(hot.get("wire_bytes", 0))
+    # the baseline file stores makespan rounded to 3 decimals; compare
+    # like-for-like so an unchanged engine reads as exactly 0% drift
+    now_makespan = round(res.makespan_ns, 3)
+    makespan_drift = (
+        100.0 * (now_makespan - base_makespan) / base_makespan if base_makespan else 0.0
+    )
+    wire_drift = 100.0 * (res.wire_bytes - base_wire) / base_wire if base_wire else 0.0
+    worst = makespan_drift if abs(makespan_drift) >= abs(wire_drift) else wire_drift
+    return {
+        "dist_case": case,
+        "dist_baseline": baseline_path,
+        "dist_baseline_makespan_ns": base_makespan,
+        "dist_makespan_ns": round(res.makespan_ns, 3),
+        "dist_baseline_wire_bytes": base_wire,
+        "dist_wire_bytes": int(res.wire_bytes),
+        "dist_drift_pct": worst,
+    }
+
+
 def run_slo(args) -> int:
     """Evaluate the gate; prints the verdict, non-zero exit on violation."""
     thresholds = _thresholds_from_args(args)
@@ -264,6 +331,14 @@ def run_slo(args) -> int:
             summary.update(drift)
         else:
             print(f"[slo] baseline {baseline} not found; skipping drift check")
+        dist_baseline = getattr(args, "dist_baseline", "BENCH_pr8.json")
+        if dist_baseline and Path(dist_baseline).exists():
+            summary.update(_dist_drift_summary(dist_baseline))
+        else:
+            print(
+                f"[slo] dist baseline {dist_baseline} not found; "
+                "skipping distributed drift check"
+            )
 
     violations = evaluate_slo(summary, thresholds)
 
@@ -292,6 +367,14 @@ def run_slo(args) -> int:
                 f"modeled drift ({summary['case']})",
                 f"{summary['modeled_drift_pct']:+.4f}%",
                 f"within ±{thresholds.max_modeled_drift_pct:g}%",
+            )
+        )
+    if "dist_drift_pct" in summary:
+        checked.append(
+            (
+                f"dist drift ({summary['dist_case']})",
+                f"{summary['dist_drift_pct']:+.4f}%",
+                f"within ±{thresholds.max_dist_drift_pct:g}%",
             )
         )
     for name, value, budget in checked:

@@ -16,6 +16,14 @@ by what factor) and every framework is costed by the same rules.
 
 from repro.perfmodel.cache import CacheSim, estimate_cache_hits
 from repro.perfmodel.cost import AccessStream, CostModel, KernelCost, KernelWorkload
+from repro.perfmodel.interconnect import (
+    INFINITY_FABRIC,
+    NVLINK,
+    PCIE,
+    LinkProfile,
+    profile_for_backend,
+    profile_for_devices,
+)
 from repro.perfmodel.metrics import achieved_occupancy
 
 __all__ = [
@@ -26,4 +34,10 @@ __all__ = [
     "KernelCost",
     "KernelWorkload",
     "achieved_occupancy",
+    "LinkProfile",
+    "NVLINK",
+    "INFINITY_FABRIC",
+    "PCIE",
+    "profile_for_backend",
+    "profile_for_devices",
 ]

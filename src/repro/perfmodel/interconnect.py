@@ -1,0 +1,108 @@
+"""Modeled device-to-device interconnect profiles.
+
+The multi-GPU BSP engine (:mod:`repro.dist`) charges every superstep's
+ghost exchange against a *link profile* instead of a hardcoded constant:
+each backend family gets the latency/bandwidth class of the fabric its
+GPUs actually ship with:
+
+* **CUDA** — NVLink-class links (the V100S pods of paper Table 4);
+* **ROCm** — Infinity Fabric / xGMI between MI100s;
+* **LevelZero / OpenCL** — PCIe 4.0 x16, the Intel MAX 1100's only
+  inter-card path.
+
+The numbers are effective (achievable, not peak) rates.  Latencies are
+scaled by the same factor as kernel-launch overheads
+(:data:`repro.sycl.backend.LAUNCH_OVERHEAD_SCALE` reasoning): our graphs
+are ~1/100 of the paper's, so a real fixed latency would make every
+superstep latency-bound and drown the bandwidth term the model exists to
+expose.
+
+An all-to-all exchange of ``d`` participants is modeled as
+``ceil(log2(d))`` latency steps (recursive-doubling/butterfly schedule)
+plus the total byte volume over the bottleneck link — the standard
+LogGP-style decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.sycl.backend import Backend
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """One interconnect class: fixed per-hop latency + link bandwidth.
+
+    ``bandwidth_gbs`` is in GB/s, which is numerically bytes/ns — the
+    unit every transfer formula below uses directly.
+    """
+
+    name: str
+    latency_ns: float
+    bandwidth_gbs: float
+
+    def transfer_ns(self, nbytes: float) -> float:
+        """Point-to-point cost of one ``nbytes`` message."""
+        if nbytes <= 0:
+            return 0.0
+        return self.latency_ns + nbytes / self.bandwidth_gbs
+
+    def all_to_all_ns(self, total_bytes: float, n_devices: int) -> float:
+        """One BSP exchange: ``total_bytes`` across ``n_devices`` peers.
+
+        ``ceil(log2(d))`` latency steps (butterfly schedule) plus the
+        whole volume through the bottleneck link.  A single device needs
+        no exchange; a multi-device barrier costs its latency steps even
+        when no bytes move (the sync itself is not free).
+        """
+        if n_devices <= 1:
+            return 0.0
+        steps = math.ceil(math.log2(n_devices))
+        return steps * self.latency_ns + max(0.0, total_bytes) / self.bandwidth_gbs
+
+
+#: NVLink-class fabric (CUDA): the preview's 150 B/ns constant, kept as
+#: the CUDA profile so single-backend pools cost exactly as before
+NVLINK = LinkProfile(name="nvlink", latency_ns=400.0, bandwidth_gbs=150.0)
+
+#: AMD Infinity Fabric / xGMI (ROCm): ~92 GB/s effective between MI100s
+INFINITY_FABRIC = LinkProfile(name="infinity-fabric", latency_ns=650.0, bandwidth_gbs=92.0)
+
+#: PCIe 4.0 x16 (Intel LevelZero/OpenCL): ~26 GB/s effective
+PCIE = LinkProfile(name="pcie4", latency_ns=1100.0, bandwidth_gbs=26.0)
+
+
+_BACKEND_LINKS = {
+    Backend.CUDA: NVLINK,
+    Backend.ROCM: INFINITY_FABRIC,
+    Backend.LEVEL_ZERO: PCIE,
+    Backend.OPENCL: PCIE,
+}
+
+
+def profile_for_backend(backend: Backend) -> LinkProfile:
+    """The link class a backend's GPUs are connected by."""
+    return _BACKEND_LINKS[backend]
+
+
+def profile_for_devices(devices: Optional[Sequence]) -> LinkProfile:
+    """Bottleneck profile for a (possibly heterogeneous) device pool.
+
+    A mixed pool communicates over its weakest path: the combined
+    profile takes the worst latency and the worst bandwidth of the
+    members' link classes.  ``None`` or an empty pool defaults to the
+    NVLink profile (the default device is the CUDA V100S).
+    """
+    if not devices:
+        return NVLINK
+    profiles = [profile_for_backend(d.backend) for d in devices]
+    worst_latency = max(p.latency_ns for p in profiles)
+    worst_bandwidth = min(p.bandwidth_gbs for p in profiles)
+    for p in profiles:
+        if p.latency_ns == worst_latency and p.bandwidth_gbs == worst_bandwidth:
+            return p
+    names = "+".join(sorted({p.name for p in profiles}))
+    return LinkProfile(name=f"mixed({names})", latency_ns=worst_latency, bandwidth_gbs=worst_bandwidth)

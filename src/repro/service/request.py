@@ -85,6 +85,11 @@ class Request:
         Deterministic fault injection: the first ``fail_attempts``
         execution attempts raise a transient fault (drives the
         retry/backoff path in tests and workloads).
+    devices:
+        Worker gang size.  1 (default) is an ordinary request; > 1 asks
+        for a multi-device BSP run (``repro.dist``) that reserves that
+        many idle workers at once and reports the BSP makespan as its
+        service time.  Only bfs/sssp/cc have gang implementations.
     """
 
     req_id: int
@@ -97,6 +102,7 @@ class Request:
     arrival_ns: float = 0.0
     timeout_ns: Optional[float] = None
     fail_attempts: int = 0
+    devices: int = 1
     #: end-to-end trace context: one id per request, shared by every
     #: retry attempt, span, histogram exemplar and flight-recorder event
     #: it produces.  Empty = assigned deterministically at admission.
@@ -110,7 +116,7 @@ class Request:
 
     def batch_key(self):
         """Requests sharing this key may be dispatched as one batch."""
-        return (self.graph, self.algorithm, self.layout, self.bits)
+        return (self.graph, self.algorithm, self.layout, self.bits, self.devices)
 
 
 @dataclass
@@ -140,6 +146,12 @@ class RequestRecord:
     reason: str = ""
     #: trace context carried over from the request (see Request.trace_id)
     trace_id: str = ""
+    #: gang size: number of workers the dispatch reserved (1 = ordinary)
+    gang: int = 1
+    #: for gang dispatches: sum of per-device compute time — what the
+    #: same work costs on ONE device, feeding the serialized-makespan
+    #: counterfactual (0.0 for ordinary requests: use service_ns)
+    solo_ns: float = 0.0
 
     @property
     def latency_ns(self) -> float:

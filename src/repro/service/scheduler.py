@@ -24,6 +24,13 @@ The moving parts, in dispatch order:
   :func:`repro.sycl.concurrency.overlap_factor`, the incremental form of
   ``overlapped_makespan``'s same-device shrink; different devices run
   fully concurrently.
+* **Gang dispatch** — a request with ``devices > 1`` is a multi-device
+  BSP job (:mod:`repro.dist`): it waits at the head of the line until
+  that many workers are idle simultaneously (a FIFO gang barrier — no
+  lower-priority bypass, so gangs cannot starve), reserves them all for
+  the run's BSP makespan, and records the summed per-device compute
+  time (``solo_ns``) so the serialized-makespan counterfactual charges
+  the single-device cost of the same work.
 * **Deadlines** — a request still queued past ``arrival + timeout`` is
   dropped (TIMED_OUT, never executed); one that finishes past its
   deadline is completed-but-discarded (also TIMED_OUT).
@@ -264,6 +271,13 @@ class QueryScheduler:
         for req in requests:
             if req.graph not in self.catalog:
                 raise KeyError(f"request {req.req_id} names unknown graph {req.graph!r}")
+            if req.devices < 1:
+                raise ValueError(f"request {req.req_id}: devices must be >= 1")
+            if req.devices > len(self.workers):
+                raise ValueError(
+                    f"request {req.req_id} wants a gang of {req.devices} workers "
+                    f"but the pool has {len(self.workers)}"
+                )
             req.attempts = 0
             if not req.trace_id:
                 # hand-built requests get deterministic ids too, so every
@@ -380,15 +394,30 @@ class QueryScheduler:
     # dispatch                                                           #
     # ------------------------------------------------------------------ #
     def _dispatch_idle(self, now: float, events: List[tuple], seq: int) -> int:
-        for worker in self.workers:
-            if worker.busy_until > now:
-                continue
-            while worker.busy_until <= now and self._pending:
+        # head-of-line loop: recompute the idle set and the best pending
+        # request after every dispatch.  For devices == 1 this serves the
+        # same (worker, batch) pairs as iterating workers in id order; a
+        # gang head additionally blocks here (FIFO barrier) until enough
+        # workers are idle at once, so gangs cannot be starved by a
+        # stream of single-device work.
+        while True:
+            self._expire(now)
+            if not self._pending:
+                return seq
+            idle = [w for w in self.workers if w.busy_until <= now]
+            if not idle:
+                return seq
+            head = min(self._pending, key=Request.sort_key)
+            if head.devices > 1:
+                if len(idle) < head.devices:
+                    return seq
+                self._pending.remove(head)
+                seq = self._dispatch_gang(idle[: head.devices], head, now, events, seq)
+            else:
                 batch = self._pick_batch(now)
                 if not batch:
-                    break
-                seq = self._dispatch(worker, batch, now, events, seq)
-        return seq
+                    return seq
+                seq = self._dispatch(idle[0], batch, now, events, seq)
 
     def _expire(self, now: float) -> None:
         """Drop pending requests already past their deadline."""
@@ -486,6 +515,99 @@ class QueryScheduler:
                 start = finish
         worker.busy_until = start
         return seq
+
+    def _dispatch_gang(
+        self, gang: List[Worker], req: Request, now: float, events: List[tuple], seq: int
+    ) -> int:
+        """Reserve ``len(gang)`` workers for one multi-device BSP run.
+
+        The job's service time is the BSP makespan (per-superstep device
+        barriers + modeled interconnect exchange); every gang worker is
+        busy for all of it.  No same-device overlap discount applies —
+        the BSP engine already owns the gang's devices for the duration.
+        ``solo_ns`` (summed per-device compute) is recorded for the
+        serialized-makespan counterfactual.
+        """
+        req.attempts += 1
+        batch_id = gang[0].dispatched
+        for w in gang:
+            w.dispatched += 1
+        self.metrics.inc("service.gang_dispatches", 1.0, now)
+        result = error = None
+        solo_ns = 0.0
+        if req.attempts <= req.fail_attempts:
+            error = TransientFault(
+                f"injected fault (attempt {req.attempts}/{req.fail_attempts})"
+            )
+            raw_ns = self.config.fault_service_ns
+        else:
+            try:
+                result, raw_ns, solo_ns = self._execute_gang(gang, req)
+            except DispatchError as exc:
+                error = exc
+                raw_ns = self.config.fault_service_ns
+        finish = now + raw_ns
+        for w in gang:
+            w.busy_until = finish
+            w.busy_ns += raw_ns
+        rec = self._record_for(req)
+        rec.start_ns = now
+        rec.service_ns = raw_ns
+        rec.attempts = req.attempts
+        rec.worker = gang[0].wid
+        rec.batch_id = batch_id
+        rec.gang = len(gang)
+        rec.solo_ns = solo_ns
+        if self._observe:
+            self._event(
+                "dispatch", now, req_id=req.req_id, trace_id=req.trace_id,
+                attempt=req.attempts, worker=gang[0].wid, batch_id=batch_id,
+                algorithm=req.algorithm, raw_ns=raw_ns, effective_ns=raw_ns,
+                gang=len(gang), solo_ns=solo_ns, worker_ts_ns=-1.0,
+                error=repr(error) if error is not None else "",
+            )
+        heapq.heappush(events, (finish, _COMPLETION, seq, (req, result, error, raw_ns)))
+        return seq + 1
+
+    def _execute_gang(self, gang: List[Worker], req: Request):
+        """Run the request's algorithm through the repro.dist BSP engine.
+
+        Returns ``(result_copy, makespan_ns, solo_ns)``.  The engine
+        builds its own per-partition queues on the gang workers' devices;
+        the workers' serving queues (and bundle caches) are untouched.
+        """
+        from repro.dist import distributed_bfs, distributed_cc, distributed_sssp
+
+        coo = self.catalog[req.graph].coo
+        devices = [w.device for w in gang]
+        if req.algorithm == "bfs":
+            res = distributed_bfs(
+                coo, len(gang), req.source, devices=devices,
+                layout=req.layout, bits=req.bits, metrics=self.metrics,
+            )
+            values = res.distances
+        elif req.algorithm == "sssp":
+            res = distributed_sssp(
+                coo, len(gang), req.source, devices=devices,
+                layout=req.layout, bits=req.bits, metrics=self.metrics,
+            )
+            values = res.distances
+        elif req.algorithm == "cc":
+            res = distributed_cc(
+                coo, len(gang), devices=devices,
+                layout=req.layout, bits=req.bits, metrics=self.metrics,
+            )
+            values = res.labels
+        else:
+            raise DispatchError(
+                f"algorithm {req.algorithm!r} has no gang (multi-device) "
+                "implementation; gang-capable: bfs, sssp, cc"
+            )
+        return (
+            np.array(values, copy=True),
+            res.makespan_ns,
+            float(sum(res.device_times_ns)),
+        )
 
     def _execute(self, worker: Worker, bundle: GraphBundle, req: Request):
         """Run one attempt on the worker's queue; never leaks allocations.
@@ -612,6 +734,7 @@ class QueryScheduler:
                 arrival_ns=req.arrival_ns,  # latency measured from first arrival
                 timeout_ns=req.timeout_ns,
                 fail_attempts=req.fail_attempts,
+                devices=req.devices,
                 trace_id=req.trace_id,  # retries stay in the same trace
             )
             retry.attempts = req.attempts
@@ -685,10 +808,14 @@ class QueryScheduler:
         in arrival order through a single work-conserving queue: start =
         max(previous finish, arrival).  The multi-device speedup quoted
         by the CLI is makespan vs this baseline, same trace, same costs.
+        Gang dispatches are charged their *solo* cost (summed per-device
+        compute, no exchange): what the same BSP job would cost on the
+        one queue this counterfactual owns.
         """
         t = 0.0
         for rec in sorted(records, key=lambda r: (r.arrival_ns, r.req_id)):
             if rec.service_ns <= 0:
                 continue
-            t = max(t, rec.arrival_ns) + rec.service_ns
+            cost = rec.solo_ns if rec.solo_ns > 0 else rec.service_ns
+            t = max(t, rec.arrival_ns) + cost
         return t

@@ -15,7 +15,7 @@ computes the *makespan* of work spread over several queues:
   busiest single queue.
 
 Use it to evaluate whether splitting independent work (e.g. BFS on two
-graphs, or the per-partition work of :mod:`repro.graph.distributed`)
+graphs, or the per-partition work of :mod:`repro.dist`)
 across queues pays off.  :mod:`repro.service` applies the same semantics
 continuously: :func:`overlap_factor` is the per-dispatch discount its
 scheduler charges when several of a device's queues are busy at once.

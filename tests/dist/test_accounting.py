@@ -1,0 +1,154 @@
+"""BSP makespan, interconnect, and superstep-bound accounting (PR 8 fixes)."""
+
+import numpy as np
+import pytest
+
+from repro.dist import distributed_bfs, run_bsp
+from repro.dist.algorithms import _BFSPlugin
+from repro.graph.coo import COOGraph
+from repro.perfmodel.interconnect import (
+    INFINITY_FABRIC,
+    NVLINK,
+    PCIE,
+    LinkProfile,
+    profile_for_devices,
+)
+from repro.sycl.device import get_device
+
+
+def chain(n):
+    v = np.arange(n - 1, dtype=np.int64)
+    return COOGraph(n, v, v + 1)
+
+
+class TestMakespan:
+    def test_imbalanced_partition_makespan_exceeds_naive(self):
+        """The regression case: work alternates between devices.
+
+        On a directed chain split in two, device 1 idles while the
+        frontier walks device 0's range and vice versa, so the naive
+        ``max(total per-device) + exchange`` formula halves the true
+        barrier-by-barrier makespan.  The corrected value must be
+        *strictly* greater.
+        """
+        res = distributed_bfs(chain(64), 2, 0)
+        assert res.makespan_ns > res.makespan_naive_ns
+
+    def test_makespan_is_sum_of_superstep_barriers(self):
+        res = distributed_bfs(chain(32), 2, 0)
+        total = sum(s.barrier_ns + s.exchange_ns for s in res.supersteps)
+        assert res.makespan_ns == pytest.approx(total)
+
+    def test_naive_is_always_a_lower_bound(self):
+        from repro.checking import graphgen
+
+        for coo, src in ((graphgen.power_law(64, seed=3), 0), (chain(20), 0)):
+            for d in (1, 2, 4):
+                res = distributed_bfs(coo, d, src)
+                assert res.makespan_ns >= res.makespan_naive_ns - 1e-9
+
+    def test_single_device_has_no_exchange(self):
+        res = distributed_bfs(chain(16), 1, 0)
+        assert res.exchange_ns == 0.0
+        assert res.ghost_messages == 0
+        assert res.wire_bytes == 0
+        assert res.makespan_ns == pytest.approx(sum(s.barrier_ns for s in res.supersteps))
+
+    def test_exchange_charged_only_on_executed_supersteps(self):
+        res = distributed_bfs(chain(16), 2, 0)
+        assert len(res.supersteps) == res.iterations
+        assert res.exchange_ns == pytest.approx(sum(s.exchange_ns for s in res.supersteps))
+
+
+class TestSuperstepBound:
+    def test_chain_terminates_at_eccentricity_bound(self):
+        """A directed n-chain needs exactly n-1 levels + 1 drain step."""
+        n = 24
+        res = distributed_bfs(chain(n), 2, 0)
+        assert res.iterations == n - 1 + 1
+        assert res.iterations <= n  # the loop guard's bound
+
+    def test_nonterminating_plugin_raises(self):
+        class Stuck(_BFSPlugin):
+            def superstep_limit(self, n):
+                return 2  # far below the chain's true depth
+
+        with pytest.raises(RuntimeError, match="superstep"):
+            run_bsp(chain(16), 2, Stuck(), source=0)
+
+
+class TestByteAccounting:
+    def test_bits_honored_in_exchange_bytes(self):
+        """The old code hardcoded ghosts * 8 bytes; widths must differ."""
+        from repro.checking import graphgen
+
+        coo = graphgen.power_law(96, avg_degree=5.0, seed=9)
+        r32 = distributed_bfs(coo, 4, 0, bits=32)
+        r64 = distributed_bfs(coo, 4, 0, bits=64)
+        assert np.array_equal(r32.distances, r64.distances)
+        # same ghosts either way, but bitmap word widths differ
+        assert r32.ghost_vertices == r64.ghost_vertices
+        assert r32.bitmap_bytes != r64.bitmap_bytes
+
+    def test_wire_bytes_bounded_by_idlist(self):
+        from repro.checking import graphgen
+
+        for coo in (graphgen.power_law(64, seed=2), chain(40)):
+            for d in (2, 4):
+                res = distributed_bfs(coo, d, 0)
+                assert res.wire_bytes <= res.idlist_bytes
+
+
+class TestInterconnect:
+    def test_backend_profiles(self):
+        assert profile_for_devices([get_device("v100s")]) is NVLINK
+        assert profile_for_devices([get_device("mi100")]) is INFINITY_FABRIC
+        assert profile_for_devices([get_device("max1100")]) is PCIE
+        assert profile_for_devices(None) is NVLINK
+
+    def test_heterogeneous_pool_bottlenecks(self):
+        p = profile_for_devices([get_device("v100s"), get_device("max1100")])
+        assert p.latency_ns == PCIE.latency_ns
+        assert p.bandwidth_gbs == PCIE.bandwidth_gbs
+
+    def test_mixed_pool_combines_worst_of_each(self):
+        fast_lat = LinkProfile("a", latency_ns=10.0, bandwidth_gbs=1.0)
+        fast_bw = LinkProfile("b", latency_ns=100.0, bandwidth_gbs=50.0)
+        # no member dominates: synthesized profile takes both worsts
+        import repro.perfmodel.interconnect as ic
+
+        class FakeDev:
+            def __init__(self, backend):
+                self.backend = backend
+
+        old = dict(ic._BACKEND_LINKS)
+        try:
+            from repro.sycl.backend import Backend
+
+            ic._BACKEND_LINKS[Backend.CUDA] = fast_lat
+            ic._BACKEND_LINKS[Backend.ROCM] = fast_bw
+            p = ic.profile_for_devices([FakeDev(Backend.CUDA), FakeDev(Backend.ROCM)])
+            assert p.latency_ns == 100.0 and p.bandwidth_gbs == 1.0
+            assert p.name.startswith("mixed(")
+        finally:
+            ic._BACKEND_LINKS.clear()
+            ic._BACKEND_LINKS.update(old)
+
+    def test_all_to_all_formula(self):
+        p = LinkProfile("t", latency_ns=100.0, bandwidth_gbs=10.0)
+        assert p.all_to_all_ns(1000, 1) == 0.0
+        assert p.all_to_all_ns(1000, 2) == pytest.approx(100.0 + 100.0)
+        assert p.all_to_all_ns(0, 4) == pytest.approx(200.0)  # sync is not free
+        assert p.transfer_ns(0) == 0.0
+        assert p.transfer_ns(50) == pytest.approx(105.0)
+
+    def test_heterogeneous_run_costs_more_exchange(self):
+        from repro.checking import graphgen
+
+        coo = graphgen.power_law(96, avg_degree=5.0, seed=4)
+        homo = distributed_bfs(coo, 2, 0, devices=[get_device("v100s")] * 2)
+        mixed = distributed_bfs(
+            coo, 2, 0, devices=[get_device("v100s"), get_device("max1100")]
+        )
+        assert np.array_equal(homo.distances, mixed.distances)
+        assert mixed.exchange_ns > homo.exchange_ns

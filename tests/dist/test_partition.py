@@ -1,0 +1,94 @@
+"""Degenerate-input behavior of the static partitioner (PR 8 fixes)."""
+
+import numpy as np
+import pytest
+
+from repro.dist.partition import (
+    Partition,
+    edge_balance,
+    owner_of,
+    partition_bounds,
+    partition_static,
+)
+from repro.graph.coo import COOGraph
+
+
+def ring(n):
+    v = np.arange(n, dtype=np.int64)
+    return COOGraph(n, v, (v + 1) % n)
+
+
+class TestMorePartsThanVertices:
+    def test_returns_at_most_n_vertices_partitions(self):
+        coo = ring(3)
+        parts = partition_static(coo, 8)
+        assert len(parts) <= 3
+        assert all(p.n_owned >= 1 for p in parts)
+
+    def test_edge_free_graph_collapses_to_vertex_split(self):
+        z = np.empty(0, dtype=np.int64)
+        coo = COOGraph(2, z, z)
+        parts = partition_static(coo, 5)
+        assert len(parts) == 2
+        assert [(p.vertex_lo, p.vertex_hi) for p in parts] == [(0, 1), (1, 2)]
+
+    def test_full_coverage_and_contiguity(self):
+        coo = ring(3)
+        parts = partition_static(coo, 8)
+        assert parts[0].vertex_lo == 0
+        assert parts[-1].vertex_hi == 3
+        for a, b in zip(parts, parts[1:]):
+            assert a.vertex_hi == b.vertex_lo
+
+
+class TestFrontLoadedCumsum:
+    def make_front_loaded(self, n=40):
+        """All edge mass on vertex 0: every equal-mass cut coincides."""
+        hub = np.zeros(n - 1, dtype=np.int64)
+        spokes = np.arange(1, n, dtype=np.int64)
+        return COOGraph(n, hub, spokes)
+
+    def test_coincident_cuts_collapse_to_nonempty_parts(self):
+        coo = self.make_front_loaded()
+        parts = partition_static(coo, 4)
+        # every cut target lands inside vertex 0's mass: one real cut
+        assert all(p.n_owned >= 1 for p in parts)
+        assert parts[0].vertex_lo == 0
+        assert parts[-1].vertex_hi == coo.n_vertices
+        assert sum(p.local.n_edges for p in parts) == coo.n_edges
+
+    def test_indices_match_positions(self):
+        parts = partition_static(self.make_front_loaded(), 4)
+        assert [p.index for p in parts] == list(range(len(parts)))
+
+    def test_owner_lookup_consistent(self):
+        coo = self.make_front_loaded()
+        parts = partition_static(coo, 4)
+        v = np.arange(coo.n_vertices)
+        owners = owner_of(parts, v)
+        for p in parts:
+            assert np.array_equal(owners[p.vertex_lo:p.vertex_hi],
+                                  np.full(p.n_owned, p.index))
+
+    def test_bounds_array_shape(self):
+        parts = partition_static(self.make_front_loaded(), 4)
+        bounds = partition_bounds(parts)
+        assert bounds.size == len(parts) + 1
+        assert np.all(np.diff(bounds) > 0)
+
+
+class TestEdgeBalance:
+    def test_ignores_empty_partitions(self):
+        z = np.empty(0, dtype=np.int64)
+        busy = Partition(0, 0, 4, COOGraph(8, np.zeros(6, np.int64), np.arange(1, 7)), z)
+        empty = Partition(1, 4, 4, COOGraph(8, z, z), z)
+        # with the empty part counted, mean halves and balance doubles
+        assert edge_balance([busy, empty]) == pytest.approx(1.0)
+
+    def test_balanced_split_near_one(self):
+        parts = partition_static(ring(64), 4)
+        assert edge_balance(parts) == pytest.approx(1.0)
+
+    def test_invalid_n_parts(self):
+        with pytest.raises(ValueError):
+            partition_static(ring(4), 0)
