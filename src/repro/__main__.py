@@ -46,17 +46,19 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "list", "check", "trace", "serve-sim", "flight", "slo"],
+        + ["all", "list", "check", "trace", "serve-sim", "flight", "slo", "chaos"],
         help="which table/figure to regenerate ('all' runs everything; "
         "'check' runs the differential-testing matrix; 'trace' runs one "
         "algorithm with the span tracer and exports a Perfetto JSON; "
         "'serve-sim' runs the multi-tenant serving simulation; 'flight' "
         "pretty-prints a flight-recorder dump; 'slo' evaluates the "
-        "SLO/regression gate)",
+        "SLO/regression gate; 'chaos' runs the seeded fault-injection "
+        "matrix over the serving smoke preset)",
     )
     parser.add_argument("--scale", default=None, help="dataset scale: tiny | small | medium")
     parser.add_argument("--sources", type=int, default=None, help="sources per measurement (paper: 200)")
     from repro.checking.cli import add_check_arguments, run_check
+    from repro.faults.chaos import add_chaos_arguments, run_chaos
     from repro.obs.cli import add_trace_arguments, run_trace
     from repro.obs.flight import add_flight_arguments, run_flight
     from repro.obs.slo import add_slo_arguments, run_slo
@@ -67,6 +69,7 @@ def main(argv=None) -> int:
     add_serve_arguments(parser)
     add_flight_arguments(parser)
     add_slo_arguments(parser)
+    add_chaos_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.experiment == "check":
@@ -83,6 +86,9 @@ def main(argv=None) -> int:
 
     if args.experiment == "slo":
         return run_slo(args)
+
+    if args.experiment == "chaos":
+        return run_chaos(args)
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

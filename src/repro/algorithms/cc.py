@@ -77,7 +77,7 @@ def cc(
                 if tr is not None:
                     tr.sample_frontier(in_frontier)
                 if shortcutting:
-                    _shortcut(graph, labels)
+                    _shortcut(graph, labels, in_frontier)
                 advance.frontier(graph, in_frontier, out_frontier, functor, config).wait()
                 swap(in_frontier, out_frontier)
                 out_frontier.clear()
@@ -103,22 +103,36 @@ def _propagate_functor(labels):
     return functor
 
 
-def _shortcut(graph, labels) -> None:
+def _shortcut(graph, labels, frontier=None) -> None:
     """Stergiou shortcutting: pointer-jump every label to its root.
 
     ``labels[v] = labels[labels[v]]`` to fixpoint — a pure compute kernel
     (no neighbor access), so it is charged as such.
+
+    When called mid-propagation, ``frontier`` must be the current input
+    frontier: any vertex whose label shrinks here holds new information
+    its neighbors have not seen, so it must re-enter the frontier or
+    propagation can terminate before the label reaches every member of
+    the component (the jump bypasses the advance's own re-insertion).
+    The final post-convergence call passes no frontier — at that point
+    every edge already joins equal labels.
     """
     while True:
         changed = [False]
+        moved_ids = [] if frontier is not None else None
 
         def jump(ids):
             parent = labels[labels[ids]]
-            if not np.array_equal(parent, labels[ids]):
+            moved = parent != labels[ids]
+            if moved.any():
                 changed[0] = True
+                if moved_ids is not None:
+                    moved_ids.append(np.asarray(ids)[moved])
             labels[ids] = parent
 
         compute.execute_all(graph, jump, write_bytes=8).wait()
+        if moved_ids:
+            frontier.insert(np.unique(np.concatenate(moved_ids)))
         if not changed[0]:
             break
 

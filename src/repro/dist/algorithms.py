@@ -118,12 +118,14 @@ def distributed_bfs(
     layout: str = "2lb",
     bits: Optional[int] = None,
     metrics=None,
+    injector=None,
 ) -> DistributedBFSResult:
     """BSP BFS over ``n_devices`` statically partitioned (simulated) GPUs."""
     _check_source(coo.n_vertices, source)
     result = run_bsp(
         coo, n_devices, _BFSPlugin(), source=source,
         devices=devices, layout=layout, bits=bits, metrics=metrics,
+        injector=injector,
     )
     return _as(result, DistributedBFSResult)
 
@@ -176,12 +178,14 @@ def distributed_sssp(
     layout: str = "2lb",
     bits: Optional[int] = None,
     metrics=None,
+    injector=None,
 ) -> DistributedSSSPResult:
     """BSP Bellman-Ford SSSP (unit weights when the graph is unweighted)."""
     _check_source(coo.n_vertices, source)
     result = run_bsp(
         coo, n_devices, _SSSPPlugin(), source=source,
         devices=devices, layout=layout, bits=bits, metrics=metrics,
+        injector=injector,
     )
     return _as(result, DistributedSSSPResult)
 
@@ -234,10 +238,12 @@ def distributed_cc(
     layout: str = "2lb",
     bits: Optional[int] = None,
     metrics=None,
+    injector=None,
 ) -> DistributedCCResult:
     """BSP min-label connected components (on the symmetrized graph)."""
     result = run_bsp(
         coo.symmetrized(), n_devices, _CCPlugin(), source=None,
         devices=devices, layout=layout, bits=bits, metrics=metrics,
+        injector=injector,
     )
     return _as(result, DistributedCCResult)

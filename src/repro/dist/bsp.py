@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.dist.partition import Partition, partition_bounds, partition_static
+from repro.errors import ExchangeFault
 from repro.dist.wire import GhostMessage, decode_ghost_message, encode_ghost_message
 from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier
 from repro.graph.builder import GraphBuilder
@@ -95,7 +96,13 @@ class BSPAlgorithm:
 
 @dataclass(frozen=True)
 class SuperstepStats:
-    """Accounting for one executed superstep."""
+    """Accounting for one executed superstep.
+
+    When the superstep had to re-execute after injected exchange faults,
+    the entry describes the final (successful) attempt and ``retries``
+    counts the rolled-back ones — their compute and exchange time is in
+    the makespan and the run totals, but not in this entry's fields.
+    """
 
     index: int
     device_ns: Tuple[float, ...]
@@ -105,6 +112,7 @@ class SuperstepStats:
     wire_bytes: int
     idlist_bytes: int
     bitmap_bytes: int
+    retries: int = 0
 
     @property
     def barrier_ns(self) -> float:
@@ -135,6 +143,9 @@ class DistributedResult:
     bitmap_bytes: int
     makespan_ns: float
     supersteps: List[SuperstepStats] = field(default_factory=list)
+    #: supersteps that rolled back to their checkpoint and re-executed
+    #: after an injected ghost-exchange fault (0 without injection)
+    recovered_supersteps: int = 0
 
     @property
     def makespan_naive_ns(self) -> float:
@@ -156,6 +167,8 @@ def run_bsp(
     layout: str = "2lb",
     bits: Optional[int] = None,
     metrics=None,
+    injector=None,
+    max_superstep_retries: int = 3,
 ) -> DistributedResult:
     """Run one BSP traversal of ``algorithm`` over ``n_devices`` partitions.
 
@@ -164,6 +177,19 @@ def run_bsp(
     device's inspector, like the single-device algorithms.  ``metrics``
     (a :class:`repro.obs.metrics.MetricsRegistry`) receives the
     ``dist.exchange.*`` counters, timestamped on the BSP makespan clock.
+
+    ``injector`` (a :class:`repro.faults.FaultInjector`) arms the fault
+    plane: the ``exchange`` site is rolled per ghost message, and a fired
+    fault (drop or corrupt — both are detected, as by checksum + ack)
+    rolls the superstep back to its entry checkpoint and re-executes it,
+    up to ``max_superstep_retries`` times before raising
+    :class:`~repro.errors.ExchangeFault`.  Failed attempts still pay
+    their compute and wire time into the makespan.  The partition queues
+    are armed too, so ``kernel_launch``/``alloc`` rules hit gang work
+    exactly like single-device work (those propagate to the caller's
+    retry policy; only the exchange site recovers in-engine).  Because
+    recovery replays from the checkpoint, results under any recoverable
+    schedule are bit-identical to the fault-free run.
     """
     n = coo.n_vertices
     parts = partition_static(coo, n_devices)
@@ -171,6 +197,9 @@ def run_bsp(
     queues = [
         Queue(devices[i] if devices else None, capacity_limit=0) for i in range(d)
     ]
+    if injector is not None:
+        for q in queues:
+            q.enable_fault_injection(injector)
     # each device holds the subgraph of its owned vertices' out-edges, in
     # the global id space (ghost dst ids resolve locally)
     graphs = [GraphBuilder(q).to_csr(p.local) for q, p in zip(queues, parts)]
@@ -194,52 +223,119 @@ def run_bsp(
     supersteps: List[SuperstepStats] = []
     limit = algorithm.superstep_limit(n)
 
+    recovered = 0
+
     while any(not f.empty() for f in fins) and iteration < limit:
         depth = iteration + 1
-        dev_ns: List[float] = []
-        found: List[np.ndarray] = []
-        for i, (g, q, fin, fout) in enumerate(zip(graphs, queues, fins, fouts)):
-            t0 = q.elapsed_ns
-            if fin.empty():
-                found.append(np.empty(0, dtype=np.int64))
-            else:
-                with q.span(
-                    "dist.superstep", iteration,
-                    attrs={"part": i, "algorithm": algorithm.name},
-                ):
-                    advance.frontier(g, fin, fout, algorithm.functor(states[i])).wait()
-                    algorithm.post_advance(g, fout, states[i], depth)
-                found.append(np.asarray(fout.active_elements(), dtype=np.int64).copy())
-            dev_ns.append(q.elapsed_ns - t0)
+        # per-superstep checkpoint: the state arrays at superstep entry.
+        # fins are only mutated by the commit (merge) phase below, so the
+        # states ARE the checkpoint; taken only while the exchange site
+        # can still fire, keeping the injection-off path zero-cost.
+        checkpoint = None
+        if injector is not None and injector.armed("exchange"):
+            checkpoint = [s.copy() for s in states]
 
-        # BSP exchange: ghosts go to their owners, 2LB-compressed
-        step_msgs: List[GhostMessage] = []
-        inbox_verts: List[List[np.ndarray]] = [[] for _ in range(d)]
-        inbox_vals: List[List[Optional[np.ndarray]]] = [[] for _ in range(d)]
-        for i, part in enumerate(parts):
-            mine = found[i]
-            if mine.size == 0:
-                continue
-            ghosts = mine[~part.owns(mine)]
-            if ghosts.size == 0:
-                continue
-            owners = np.searchsorted(bounds, ghosts, side="right") - 1
-            for o in np.unique(owners):
-                vs = ghosts[owners == o]
-                msg = encode_ghost_message(
-                    i, int(o), parts[o].vertex_lo, parts[o].vertex_hi,
-                    vs, wire_bits, algorithm.message_values(states[i], vs),
+        retries = 0
+        while True:
+            dev_ns: List[float] = []
+            found: List[np.ndarray] = []
+            for i, (g, q, fin, fout) in enumerate(zip(graphs, queues, fins, fouts)):
+                t0 = q.elapsed_ns
+                if fin.empty():
+                    found.append(np.empty(0, dtype=np.int64))
+                else:
+                    with q.span(
+                        "dist.superstep", iteration,
+                        attrs={"part": i, "algorithm": algorithm.name},
+                    ):
+                        advance.frontier(g, fin, fout, algorithm.functor(states[i])).wait()
+                        algorithm.post_advance(g, fout, states[i], depth)
+                    found.append(np.asarray(fout.active_elements(), dtype=np.int64).copy())
+                dev_ns.append(q.elapsed_ns - t0)
+            barrier = max(dev_ns) if dev_ns else 0.0
+
+            # BSP exchange: ghosts go to their owners, 2LB-compressed
+            step_msgs: List[GhostMessage] = []
+            inbox_verts: List[List[np.ndarray]] = [[] for _ in range(d)]
+            inbox_vals: List[List[Optional[np.ndarray]]] = [[] for _ in range(d)]
+            dropped = 0
+            for i, part in enumerate(parts):
+                mine = found[i]
+                if mine.size == 0:
+                    continue
+                ghosts = mine[~part.owns(mine)]
+                if ghosts.size == 0:
+                    continue
+                owners = np.searchsorted(bounds, ghosts, side="right") - 1
+                for o in np.unique(owners):
+                    vs = ghosts[owners == o]
+                    msg = encode_ghost_message(
+                        i, int(o), parts[o].vertex_lo, parts[o].vertex_hi,
+                        vs, wire_bits, algorithm.message_values(states[i], vs),
+                    )
+                    step_msgs.append(msg)
+                    if injector is not None:
+                        fault = injector.check(
+                            "exchange", makespan + barrier,
+                            algorithm=algorithm.name, superstep=iteration,
+                            src_part=i, dst_part=int(o), vertices=int(vs.size),
+                        )
+                        if fault is not None:
+                            # dropped or corrupted in flight: the bytes
+                            # crossed the link but the owner never gets an
+                            # intact message (corruption is detected and
+                            # discarded, same recovery either way)
+                            dropped += 1
+                            continue
+                    rverts, rvals = decode_ghost_message(msg)
+                    inbox_verts[o].append(rverts)
+                    inbox_vals[o].append(rvals)
+
+            step_wire = sum(m.wire_bytes for m in step_msgs)
+            step_idlist = sum(m.idlist_bytes for m in step_msgs)
+            step_bitmap = sum(m.bitmap_bytes for m in step_msgs)
+            step_ghosts = sum(m.n_vertices for m in step_msgs)
+            step_exchange = link.all_to_all_ns(step_wire, d)
+
+            if dropped == 0:
+                break
+
+            # failed attempt: its compute + exchange time and wire bytes
+            # are real and stay charged, but nothing is committed
+            makespan += barrier + step_exchange
+            exchange_total += step_exchange
+            messages_total += len(step_msgs)
+            ghosts_total += step_ghosts
+            wire_total += step_wire
+            idlist_total += step_idlist
+            bitmap_total += step_bitmap
+            if metrics is not None:
+                metrics.inc("dist.exchange.bytes", float(step_wire), makespan)
+                metrics.inc("dist.exchange.messages", float(len(step_msgs)), makespan)
+                metrics.inc("dist.exchange.ghost_vertices", float(step_ghosts), makespan)
+                metrics.inc("dist.exchange.dropped", float(dropped), makespan)
+            if retries >= max_superstep_retries:
+                raise ExchangeFault(
+                    f"BSP {algorithm.name}: ghost exchange kept failing at "
+                    f"superstep {iteration} after {retries} checkpoint "
+                    f"rollbacks ({dropped} message(s) lost in the last attempt)"
                 )
-                step_msgs.append(msg)
-                rverts, rvals = decode_ghost_message(msg)
-                inbox_verts[o].append(rverts)
-                inbox_vals[o].append(rvals)
+            retries += 1
+            # roll back to the checkpoint and re-execute the superstep
+            for state, snap in zip(states, checkpoint):
+                state[...] = snap
+            for fout in fouts:
+                fout.clear()
 
-        step_wire = sum(m.wire_bytes for m in step_msgs)
-        step_idlist = sum(m.idlist_bytes for m in step_msgs)
-        step_bitmap = sum(m.bitmap_bytes for m in step_msgs)
-        step_ghosts = sum(m.n_vertices for m in step_msgs)
-        step_exchange = link.all_to_all_ns(step_wire, d)
+        if retries:
+            recovered += 1
+            if metrics is not None:
+                metrics.inc("faults.recovered.exchange", 1.0, makespan)
+            if injector is not None and injector.flight is not None:
+                injector.flight.record(
+                    "exchange_recovery", makespan, algorithm=algorithm.name,
+                    superstep=iteration, retries=retries,
+                )
 
         # owners merge inboxes and seed the next superstep's frontiers
         for i, part in enumerate(parts):
@@ -258,7 +354,6 @@ def run_bsp(
                 fins[i].insert(ids)
             fouts[i].clear()
 
-        barrier = max(dev_ns) if dev_ns else 0.0
         makespan += barrier + step_exchange
         exchange_total += step_exchange
         messages_total += len(step_msgs)
@@ -276,6 +371,7 @@ def run_bsp(
                 wire_bytes=step_wire,
                 idlist_bytes=step_idlist,
                 bitmap_bytes=step_bitmap,
+                retries=retries,
             )
         )
         if metrics is not None:
@@ -307,4 +403,5 @@ def run_bsp(
         bitmap_bytes=bitmap_total,
         makespan_ns=makespan,
         supersteps=supersteps,
+        recovered_supersteps=recovered,
     )

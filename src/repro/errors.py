@@ -44,3 +44,43 @@ class KernelError(SYgraphError):
 class InvariantViolation(SYgraphError):
     """Raised by strict mode (:mod:`repro.checking.invariants`) when a
     frontier invariant, buffer guard canary, or allocation rule is broken."""
+
+
+class FaultInjected(SYgraphError):
+    """Base class for deterministic injected faults (:mod:`repro.faults`).
+
+    Every fault the injection plane fires raises (or is surfaced as) a
+    subclass, so recovery code can distinguish "the simulated runtime
+    failed on purpose" from genuine configuration errors with one
+    ``isinstance`` check.
+    """
+
+
+class KernelLaunchError(FaultInjected, KernelError):
+    """Injected kernel-launch failure (the ``kernel_launch`` fault site
+    in :meth:`repro.sycl.queue.Queue.submit`)."""
+
+
+class AllocationFault(FaultInjected):
+    """Injected USM allocation failure (the ``alloc`` fault site in
+    :meth:`repro.sycl.memory.MemoryManager.malloc`).
+
+    Deliberately *not* a subclass of :class:`OutOfMemoryError`: the
+    device had room, the allocator call itself failed.  The serving
+    layer treats both as retryable and degrades to shedding with a
+    typed FAILED reason when retries run out.
+    """
+
+
+class DeviceLostError(FaultInjected, DeviceError):
+    """Injected whole-device loss (the ``device_loss`` fault site).
+
+    The scheduler never lets this escape — it quarantines the worker
+    and fails the dispatch over — but custom harnesses driving the
+    injector directly receive it.
+    """
+
+
+class ExchangeFault(FaultInjected):
+    """Ghost-exchange fault the BSP engine could not recover from
+    (the ``exchange`` site kept firing past the superstep bound)."""

@@ -1,0 +1,28 @@
+"""Deterministic fault-injection plane for the simulated runtime.
+
+``repro.faults`` threads a single seeded PCG64 draw stream through the
+failure points of the stack — kernel launch (``Queue.submit``), USM
+allocation (``MemoryManager.malloc``), whole-device loss (the
+scheduler's worker pool) and the BSP ghost exchange (``repro.dist``) —
+so that retry/backoff, device quarantine + failover, and per-superstep
+checkpoint recovery can be exercised *reproducibly*: the same schedule
+and seed fire the same faults at the same simulated instants, and the
+chaos CLI (``python -m repro chaos``) proves recovery never corrupts
+results by diffing completed-request digests against the fault-free run.
+"""
+
+from repro.faults.injector import (
+    SITES,
+    FaultEvent,
+    FaultInjector,
+    FaultRule,
+    parse_fault_rule,
+)
+
+__all__ = [
+    "SITES",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRule",
+    "parse_fault_rule",
+]

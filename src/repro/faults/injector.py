@@ -1,0 +1,231 @@
+"""The fault injector: seeded schedules over four runtime fault sites.
+
+A :class:`FaultInjector` holds an ordered list of :class:`FaultRule`
+schedules and **one** PCG64 stream.  Instrumented sites call
+:meth:`FaultInjector.check` at the instant a real failure could occur;
+the injector consumes exactly one uniform draw per *armed* matching rule
+per call, so the sequence of fired faults is a pure function of
+``(rules, seed, call order)`` — and the call order is itself
+deterministic because the whole runtime runs on a modeled clock.
+
+The four sites (see :data:`SITES`):
+
+``kernel_launch``
+    :meth:`repro.sycl.queue.Queue.submit` raises
+    :class:`~repro.errors.KernelLaunchError` before charging the kernel.
+    ``now_ns`` is the queue's accumulated kernel time.
+``alloc``
+    :meth:`repro.sycl.memory.MemoryManager.malloc` raises
+    :class:`~repro.errors.AllocationFault` before touching the
+    accounting, so a failed allocation never perturbs the byte totals.
+``device_loss``
+    Checked by the scheduler at dispatch: a fire quarantines the worker
+    and requeues its batch (no exception escapes).  ``now_ns`` is the
+    scheduler's simulated clock.
+``exchange``
+    Checked by the BSP engine per ghost message: a fire marks the
+    message dropped/corrupted and rolls the superstep back to its
+    checkpoint.  ``now_ns`` is the BSP makespan clock.
+
+Rules fire with ``probability`` once ``now_ns >= after_ns``, at most
+``count`` times (``None`` = unlimited).  Every fire is recorded on the
+injector (``fired``), on the metrics registry (``faults.injected`` and
+``faults.injected.<site>``) and on the flight recorder when those hooks
+are attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: the instrumented fault sites, in stack order
+SITES = ("kernel_launch", "alloc", "device_loss", "exchange")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One ``(site, probability, count, after_ns)`` fault schedule.
+
+    Attributes
+    ----------
+    site:
+        One of :data:`SITES`.
+    probability:
+        Chance each matching :meth:`FaultInjector.check` call fires,
+        in ``(0, 1]``.
+    count:
+        Maximum fires for this rule; ``None`` = unlimited.
+    after_ns:
+        The rule only arms once the site's clock reaches this instant
+        (each site documents which modeled clock it passes).
+    mode:
+        ``exchange`` only: ``"drop"`` (default) or ``"corrupt"`` —
+        both are detected and recovered identically (checksum + ack in
+        a real interconnect); the mode is recorded on the event.
+    """
+
+    site: str
+    probability: float = 1.0
+    count: Optional[int] = 1
+    after_ns: float = 0.0
+    mode: str = ""
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: {', '.join(SITES)}"
+            )
+        if not (0.0 < self.probability <= 1.0):
+            raise ValueError(
+                f"fault probability must be in (0, 1], got {self.probability}"
+            )
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"fault count must be >= 1 or None, got {self.count}")
+        if self.after_ns < 0:
+            raise ValueError(f"after_ns must be >= 0, got {self.after_ns}")
+        if self.mode and self.site != "exchange":
+            raise ValueError(f"mode {self.mode!r} is only valid for the exchange site")
+        if self.mode not in ("", "drop", "corrupt"):
+            raise ValueError(f"exchange mode must be 'drop' or 'corrupt', got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault: what, where, when, and under which rule."""
+
+    seq: int
+    site: str
+    ts_ns: float
+    rule_index: int
+    mode: str = ""
+    context: dict = field(default_factory=dict)
+
+
+def parse_fault_rule(spec: str) -> FaultRule:
+    """Parse a CLI rule ``site[:prob[:count[:after_ns]]]``.
+
+    ``count`` of 0 means unlimited.  Examples::
+
+        kernel_launch:0.01        # 1% of launches, once
+        alloc:0.5:3               # 50% of allocations, at most 3 fires
+        device_loss:1:1:50000     # first dispatch after 50 µs modeled
+        exchange:0.5:0            # half of all ghost messages, forever
+    """
+    parts = spec.split(":")
+    site = parts[0].strip().replace("-", "_")
+    try:
+        prob = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+        count: Optional[int] = int(parts[2]) if len(parts) > 2 and parts[2] else 1
+        after = float(parts[3]) if len(parts) > 3 and parts[3] else 0.0
+    except ValueError as exc:
+        raise ValueError(f"malformed fault rule {spec!r}: {exc}") from None
+    if count is not None and count <= 0:
+        count = None  # 0 = unlimited
+    return FaultRule(site, probability=prob, count=count, after_ns=after)
+
+
+class FaultInjector:
+    """Deterministic, seed-driven fault scheduler over :data:`SITES`.
+
+    Parameters
+    ----------
+    rules:
+        The fault schedules; order matters (rules are consulted — and
+        the draw stream consumed — in list order on every check).
+    seed:
+        PCG64 seed for the single uniform draw stream.
+    metrics / flight:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` and
+        :class:`~repro.obs.flight.FlightRecorder` hooks; every fire is
+        recorded on both when attached.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FaultRule],
+        seed: int = 0,
+        metrics=None,
+        flight=None,
+    ):
+        self.rules: List[FaultRule] = list(rules)
+        self.seed = int(seed)
+        self.metrics = metrics
+        self.flight = flight
+        self.rng = np.random.default_rng(self.seed)
+        self._remaining: List[Optional[int]] = [r.count for r in self.rules]
+        self.fired: List[FaultEvent] = []
+        self.draws = 0
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Rewind to the initial state: same seed, full fire budgets."""
+        self.rng = np.random.default_rng(self.seed)
+        self._remaining = [r.count for r in self.rules]
+        self.fired = []
+        self.draws = 0
+
+    def armed(self, site: str) -> bool:
+        """Whether any rule for ``site`` can still fire (cheap pre-check
+        so sites skip checkpoint/snapshot work once budgets are spent)."""
+        return any(
+            r.site == site and (rem is None or rem > 0)
+            for r, rem in zip(self.rules, self._remaining)
+        )
+
+    def check(self, site: str, now_ns: float = 0.0, **context) -> Optional[FaultEvent]:
+        """Roll the dice for ``site`` at modeled instant ``now_ns``.
+
+        Consumes one draw per armed matching rule (armed = fire budget
+        left and ``now_ns >= after_ns``), in rule order, and fires on
+        the first success.  Returns the :class:`FaultEvent` on fire,
+        ``None`` otherwise — the caller owns the failure semantics.
+        """
+        for idx, rule in enumerate(self.rules):
+            if rule.site != site:
+                continue
+            remaining = self._remaining[idx]
+            if remaining is not None and remaining <= 0:
+                continue
+            if now_ns < rule.after_ns:
+                continue
+            self.draws += 1
+            if self.rng.random() >= rule.probability:
+                continue
+            if remaining is not None:
+                self._remaining[idx] = remaining - 1
+            event = FaultEvent(
+                seq=len(self.fired),
+                site=site,
+                ts_ns=float(now_ns),
+                rule_index=idx,
+                mode=rule.mode or ("drop" if site == "exchange" else ""),
+                context=dict(context),
+            )
+            self.fired.append(event)
+            if self.metrics is not None:
+                self.metrics.inc("faults.injected", 1.0, now_ns)
+                self.metrics.inc(f"faults.injected.{site}", 1.0, now_ns)
+            if self.flight is not None:
+                self.flight.record(
+                    "fault", now_ns, site=site, fault_seq=event.seq,
+                    rule=idx, mode=event.mode, **context,
+                )
+            return event
+        return None
+
+    # ------------------------------------------------------------------ #
+    def counts_by_site(self) -> Dict[str, int]:
+        """Fires per site so far (all sites present, zeros included)."""
+        out = {site: 0 for site in SITES}
+        for event in self.fired:
+            out[event.site] += 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(seed={self.seed}, rules={len(self.rules)}, "
+            f"fired={len(self.fired)}, draws={self.draws})"
+        )

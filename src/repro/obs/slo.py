@@ -55,6 +55,11 @@ class SLOThresholds:
     #: distributed hot-case movement (worst of BSP makespan ns and
     #: ghost-exchange wire bytes) vs the --dist-baseline, percent
     max_dist_drift_pct: float = 0.0
+    #: chaos-matrix corruption events allowed (result-digest divergences
+    #: plus spot-check failures across every scenario of a
+    #: ``chaos --report`` JSON).  Degradation under faults is fine;
+    #: silent corruption is a correctness event, default budget zero.
+    max_chaos_divergences: int = 0
 
 
 def evaluate_slo(summary: dict, thresholds: SLOThresholds) -> List[str]:
@@ -102,6 +107,15 @@ def evaluate_slo(summary: dict, thresholds: SLOThresholds) -> List[str]:
         v.append(
             f"distributed hot case drifted {summary['dist_drift_pct']:+.4f}% vs "
             f"baseline (allowed ±{thresholds.max_dist_drift_pct:.4f}%)"
+        )
+    if (
+        "chaos_divergences" in summary
+        and summary["chaos_divergences"] > thresholds.max_chaos_divergences
+    ):
+        v.append(
+            f"{summary['chaos_divergences']} chaos corruption event(s) "
+            f"(digest divergences + spot-check failures under injected "
+            f"faults) exceed budget {thresholds.max_chaos_divergences}"
         )
     return v
 
@@ -151,6 +165,16 @@ def add_slo_arguments(parser) -> None:
         help="skip the modeled-ns drift recomputation (faster; serving "
         "SLOs only)",
     )
+    group.add_argument(
+        "--chaos-report", default=None, metavar="PATH",
+        help="also gate a `chaos --report` JSON: total digest "
+        "divergences + spot-check failures across its scenarios must "
+        "stay within --max-chaos-divergences (skipped when absent)",
+    )
+    group.add_argument(
+        "--max-chaos-divergences", type=int, default=None,
+        help="chaos corruption budget (default 0)",
+    )
 
 
 def _thresholds_from_args(args) -> SLOThresholds:
@@ -162,6 +186,7 @@ def _thresholds_from_args(args) -> SLOThresholds:
         ("max_failed", "max_failed"),
         ("max_drift_pct", "max_modeled_drift_pct"),
         ("max_dist_drift_pct", "max_dist_drift_pct"),
+        ("max_chaos_divergences", "max_chaos_divergences"),
     ):
         val = getattr(args, flag, None)
         if val is not None:
@@ -316,6 +341,28 @@ def _dist_drift_summary(baseline_path: str) -> dict:
     }
 
 
+def _chaos_summary(path: str) -> dict:
+    """Corruption totals from a ``chaos --report`` JSON.
+
+    Sums result-digest divergences and in-loop spot-check failures over
+    every scenario — any non-zero total means an injected fault schedule
+    produced a wrong answer that was *served*, which no recovery story
+    excuses.
+    """
+    data = json.loads(Path(path).read_text())
+    scenarios = data.get("scenarios", [])
+    total = sum(
+        int(s.get("divergences", 0)) + int(s.get("spot_check_failures", 0))
+        for s in scenarios
+    )
+    return {
+        "chaos_report": path,
+        "chaos_scenarios": len(scenarios),
+        "chaos_faults_injected": sum(int(s.get("injected", 0)) for s in scenarios),
+        "chaos_divergences": total,
+    }
+
+
 def run_slo(args) -> int:
     """Evaluate the gate; prints the verdict, non-zero exit on violation."""
     thresholds = _thresholds_from_args(args)
@@ -339,6 +386,13 @@ def run_slo(args) -> int:
                 f"[slo] dist baseline {dist_baseline} not found; "
                 "skipping distributed drift check"
             )
+
+    chaos_path = getattr(args, "chaos_report", None)
+    if chaos_path:
+        if Path(chaos_path).exists():
+            summary.update(_chaos_summary(chaos_path))
+        else:
+            print(f"[slo] chaos report {chaos_path} not found; skipping chaos check")
 
     violations = evaluate_slo(summary, thresholds)
 
@@ -375,6 +429,14 @@ def run_slo(args) -> int:
                 f"dist drift ({summary['dist_case']})",
                 f"{summary['dist_drift_pct']:+.4f}%",
                 f"within ±{thresholds.max_dist_drift_pct:g}%",
+            )
+        )
+    if "chaos_divergences" in summary:
+        checked.append(
+            (
+                f"chaos corruption ({summary['chaos_scenarios']} scenarios)",
+                str(summary["chaos_divergences"]),
+                f"<= {thresholds.max_chaos_divergences}",
             )
         )
     for name, value, budget in checked:

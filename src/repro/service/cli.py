@@ -258,6 +258,18 @@ def run_serve(args) -> int:
     )
     trace_output = getattr(args, "trace_output", None)
     flight_path = getattr(args, "flight", None)
+    # --fault-rule arms the injection plane on this one run; the default
+    # (no rules, injector None) is the zero-cost path, so the smoke
+    # golden is byte-identical with or without the fault plane built in
+    injector = None
+    fault_rules = getattr(args, "fault_rule", None)
+    if fault_rules:
+        from repro.faults import FaultInjector, parse_fault_rule
+
+        injector = FaultInjector(
+            [parse_fault_rule(spec) for spec in fault_rules],
+            seed=getattr(args, "fault_seed", 0) or 0,
+        )
     config = SchedulerConfig(
         max_queue_depth=args.queue_depth,
         max_batch=args.batch,
@@ -266,6 +278,7 @@ def run_serve(args) -> int:
         histograms=getattr(args, "histograms", False),
         flight_capacity=getattr(args, "flight_capacity", 256) if flight_path else 0,
         flight_path=flight_path,
+        fault_injector=injector,
     )
     scheduler = QueryScheduler(pool=pool, catalog=catalog, config=config)
     report = scheduler.run(workload)

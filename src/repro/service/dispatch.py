@@ -160,9 +160,23 @@ class DispatchRegistry:
         lazily built graphs land in the worker's persistent cache rather
         than the request's scratch window (which is freed — and, in
         strict mode, poisoned — on completion).
+
+        A build interrupted by an injected fault frees its own scraps
+        before re-raising: the half-built representation's allocations
+        would otherwise masquerade as bundle cache forever (the scheduler
+        only reclaims what is allocated *after* its snapshot).  Already
+        cached representations are untouched, so a retry rebuilds only
+        what actually failed.
         """
+        mm = bundle.queue.memory
         for attr in GRAPH_REQUIREMENTS.get(request.algorithm, ("csr",)):
-            getattr(bundle, attr)
+            before = {a.alloc_id for a in mm.live_allocations}
+            try:
+                getattr(bundle, attr)
+            except SYgraphError:
+                for alloc in [a for a in mm.live_allocations if a.alloc_id not in before]:
+                    mm.free(alloc.array)
+                raise
 
     def run(self, bundle: GraphBundle, request: "Request") -> np.ndarray:
         runner = self._runners.get(request.algorithm)

@@ -57,7 +57,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import OutOfMemoryError, SYgraphError
+from repro.errors import (
+    AllocationFault,
+    DeviceLostError,
+    ExchangeFault,
+    FaultInjected,
+    KernelLaunchError,
+    OutOfMemoryError,
+    SYgraphError,
+)
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.service.dispatch import (
@@ -73,6 +81,7 @@ from repro.service.request import (
     RequestRecord,
     RequestStatus,
     make_trace_id,
+    result_digest,
 )
 from repro.service.workload import GraphSpec
 from repro.sycl.concurrency import SAME_DEVICE_OVERLAP, overlap_factor
@@ -82,6 +91,19 @@ from repro.sycl.queue import Queue
 
 class TransientFault(SYgraphError):
     """Injected execution fault (a request's ``fail_attempts`` budget)."""
+
+
+def _fault_kind(error: Exception) -> str:
+    """Typed FAILED-reason prefix for an injected-fault degradation."""
+    if isinstance(error, AllocationFault):
+        return "alloc-fault"
+    if isinstance(error, KernelLaunchError):
+        return "kernel-launch-fault"
+    if isinstance(error, ExchangeFault):
+        return "exchange-fault"
+    if isinstance(error, DeviceLostError):
+        return "device-lost"
+    return "injected-fault"
 
 
 @dataclass
@@ -119,6 +141,14 @@ class SchedulerConfig:
     #: where the flight recorder auto-dumps on a FAILED request or an
     #: unhandled exception (None = keep in memory only)
     flight_path: Optional[str] = None
+    #: fault-injection plane (repro.faults.FaultInjector); None = every
+    #: site disabled, the zero-cost path — modeled timelines and reports
+    #: are bit-identical to a build without the plane
+    fault_injector: Optional[object] = None
+    #: record a blake2b digest of every completed result on its record
+    #: (the chaos CLI's cross-run bit-identity check); off by default so
+    #: golden outputs are untouched
+    keep_result_digests: bool = False
 
     def timeout_for(self, priority: int) -> Optional[float]:
         if not self.timeout_ns:
@@ -138,6 +168,9 @@ class Worker:
         self.busy_until = 0.0
         self.busy_ns = 0.0  # effective (overlap-discounted) busy time
         self.dispatched = 0
+        #: set by an injected device_loss fault: the worker takes no new
+        #: work (in-flight completions drain normally) until the next run
+        self.quarantined = False
         self.bundles: Dict[str, GraphBundle] = {}
         if config.strict:
             self.queue.memory.enable_strict(guard=4, poison=True)
@@ -170,6 +203,9 @@ class ServiceReport:
     #: written on failure, if any
     flight: Optional[FlightRecorder] = None
     flight_dump_path: Optional[str] = None
+    #: every fault the injection plane fired during the run, in order
+    #: (repro.faults.FaultEvent); empty when injection is disabled
+    faults: List[object] = field(default_factory=list)
 
     def by_status(self, status: RequestStatus) -> List[RequestRecord]:
         return [r for r in self.records if r.status is status]
@@ -250,6 +286,15 @@ class QueryScheduler:
         self._pending: List[Request] = []
         self._records: Dict[int, RequestRecord] = {}
         self._completions = 0
+        #: the fault plane: armed on every worker queue (kernel_launch +
+        #: alloc sites) and consulted directly for device_loss; the
+        #: exchange site rides into repro.dist with _execute_gang
+        self._injector = self.config.fault_injector
+        if self._injector is not None:
+            self._injector.metrics = self.metrics
+            self._injector.flight = self.flight
+            for worker in self.workers:
+                worker.queue.enable_fault_injection(self._injector)
 
     # ------------------------------------------------------------------ #
     # serving loop                                                       #
@@ -266,6 +311,10 @@ class QueryScheduler:
             worker.busy_until = 0.0
             worker.busy_ns = 0.0
             worker.dispatched = 0
+            worker.quarantined = False
+        if self._injector is not None:
+            # each run replays the same seeded fault schedule from the top
+            self._injector.reset()
         events: List[tuple] = []
         seq = 0
         for req in requests:
@@ -314,6 +363,17 @@ class QueryScheduler:
                     )
             raise
 
+        # device-pool exhaustion: work that survived the event loop can
+        # only be left over because every worker was quarantined
+        for req in sorted(self._pending, key=Request.sort_key):
+            self._finalize(
+                req, RequestStatus.FAILED, now,
+                reason="device pool exhausted (all workers quarantined)",
+            )
+            self.metrics.inc("service.failed", 1.0, now)
+            self.metrics.inc("faults.degraded", 1.0, now)
+        self._pending = []
+
         records = sorted(self._records.values(), key=lambda r: r.req_id)
         makespan = max((r.finish_ns for r in records), default=0.0)
         return ServiceReport(
@@ -339,6 +399,7 @@ class QueryScheduler:
             ],
             flight=self.flight,
             flight_dump_path=self._flight_dump_path,
+            faults=list(self._injector.fired) if self._injector is not None else [],
         )
 
     def _event(self, kind: str, ts_ns: float, **fields) -> None:
@@ -404,20 +465,70 @@ class QueryScheduler:
             self._expire(now)
             if not self._pending:
                 return seq
-            idle = [w for w in self.workers if w.busy_until <= now]
+            idle = [w for w in self.workers if w.busy_until <= now and not w.quarantined]
             if not idle:
                 return seq
             head = min(self._pending, key=Request.sort_key)
             if head.devices > 1:
+                alive = sum(1 for w in self.workers if not w.quarantined)
+                if head.devices > alive:
+                    # the gang can never assemble on the surviving pool
+                    self._pending.remove(head)
+                    self._finalize(
+                        head, RequestStatus.FAILED, now,
+                        reason=f"gang of {head.devices} exceeds surviving pool ({alive})",
+                    )
+                    self.metrics.inc("service.failed", 1.0, now)
+                    self.metrics.inc("faults.degraded", 1.0, now)
+                    continue
                 if len(idle) < head.devices:
                     return seq
+                gang = idle[: head.devices]
+                if self._injector is not None and self._lose_device(gang, now):
+                    continue  # failover: gang re-waits on the survivors
                 self._pending.remove(head)
-                seq = self._dispatch_gang(idle[: head.devices], head, now, events, seq)
+                seq = self._dispatch_gang(gang, head, now, events, seq)
             else:
                 batch = self._pick_batch(now)
                 if not batch:
                     return seq
-                seq = self._dispatch(idle[0], batch, now, events, seq)
+                worker = idle[0]
+                if self._injector is not None and self._lose_device([worker], now):
+                    # failover re-dispatch: the batch goes back to pending
+                    # with attempts/backoff state untouched — the next loop
+                    # iteration re-picks it for a surviving worker
+                    self._pending.extend(batch)
+                    continue
+                seq = self._dispatch(worker, batch, now, events, seq)
+
+    def _lose_device(self, candidates: List[Worker], now: float) -> bool:
+        """Roll the ``device_loss`` site for each candidate worker.
+
+        A fire quarantines the worker — it takes no further dispatches
+        for the rest of the run, modeling a device dropped from the pool
+        — and returns True so the caller re-plans on the survivors.
+        In-flight work on other workers is unaffected (drain semantics).
+        """
+        lost = False
+        for worker in candidates:
+            fault = self._injector.check(
+                "device_loss", now, worker=worker.wid, device=worker.device_name
+            )
+            if fault is not None:
+                worker.quarantined = True
+                lost = True
+                self.metrics.inc("faults.quarantined", 1.0, now)
+                self.metrics.gauge(
+                    "service.pool_live",
+                    float(sum(1 for w in self.workers if not w.quarantined)),
+                    now,
+                )
+                if self._observe:
+                    self._event(
+                        "quarantine", now, worker=worker.wid,
+                        device=worker.device_name, fault_seq=fault.seq,
+                    )
+        return lost
 
     def _expire(self, now: float) -> None:
         """Drop pending requests already past their deadline."""
@@ -543,7 +654,11 @@ class QueryScheduler:
         else:
             try:
                 result, raw_ns, solo_ns = self._execute_gang(gang, req)
-            except DispatchError as exc:
+            except (DispatchError, FaultInjected) as exc:
+                # FaultInjected here means the BSP engine could not recover
+                # (exchange kept firing past the superstep retry bound, or
+                # a launch/alloc fault hit a gang partition queue); the
+                # attempt is retryable like any transient
                 error = exc
                 raw_ns = self.config.fault_service_ns
         finish = now + raw_ns
@@ -580,22 +695,26 @@ class QueryScheduler:
 
         coo = self.catalog[req.graph].coo
         devices = [w.device for w in gang]
+        injector = self._injector
         if req.algorithm == "bfs":
             res = distributed_bfs(
                 coo, len(gang), req.source, devices=devices,
                 layout=req.layout, bits=req.bits, metrics=self.metrics,
+                injector=injector,
             )
             values = res.distances
         elif req.algorithm == "sssp":
             res = distributed_sssp(
                 coo, len(gang), req.source, devices=devices,
                 layout=req.layout, bits=req.bits, metrics=self.metrics,
+                injector=injector,
             )
             values = res.distances
         elif req.algorithm == "cc":
             res = distributed_cc(
                 coo, len(gang), devices=devices,
                 layout=req.layout, bits=req.bits, metrics=self.metrics,
+                injector=injector,
             )
             values = res.labels
         else:
@@ -621,10 +740,20 @@ class QueryScheduler:
         by the stress suite).
         """
         q = worker.queue
-        if req.algorithm in self.registry.names():
-            # graph builds go to the persistent bundle cache, not the
-            # request's scratch window (freed + poisoned on completion)
-            self.registry.prepare(bundle, req)
+        t_prep = q.elapsed_ns
+        try:
+            if req.algorithm in self.registry.names():
+                # graph builds go to the persistent bundle cache, not the
+                # request's scratch window (freed + poisoned on completion)
+                self.registry.prepare(bundle, req)
+        except (OutOfMemoryError, FaultInjected) as exc:
+            # an injected launch/alloc fault interrupted the graph build;
+            # prepare() already freed its scraps, so only the partial
+            # build's kernel time is charged to the attempt
+            raw_ns = q.elapsed_ns - t_prep
+            if raw_ns == 0.0:
+                raw_ns = self.config.fault_service_ns
+            return None, raw_ns, exc, -1.0
         before = {a.alloc_id for a in q.memory.live_allocations}
         t0 = q.elapsed_ns
         result = error = None
@@ -642,7 +771,7 @@ class QueryScheduler:
                             f"injected fault (attempt {req.attempts}/{req.fail_attempts})"
                         )
                     result = np.array(self.registry.run(bundle, req), copy=True)
-                except (TransientFault, OutOfMemoryError, DispatchError) as exc:
+                except (TransientFault, OutOfMemoryError, DispatchError, FaultInjected) as exc:
                     error = exc
         raw_ns = q.elapsed_ns - t0
         if error is not None and raw_ns == 0.0:
@@ -693,6 +822,8 @@ class QueryScheduler:
                 )
                 return seq
         self._finalize(req, RequestStatus.COMPLETED, now)
+        if self.config.keep_result_digests and result is not None:
+            self._records[req.req_id].result_digest = result_digest(result)
         self.metrics.inc("service.completed", 1.0, now)
         if self.config.histograms:
             rec = self._records[req.req_id]
@@ -741,10 +872,12 @@ class QueryScheduler:
             heapq.heappush(events, (now + backoff, _ARRIVAL, seq, retry))
             seq += 1
         else:
-            self._finalize(
-                req, RequestStatus.FAILED, now,
-                reason=f"failed after {req.attempts} attempts: {error}",
-            )
+            reason = f"failed after {req.attempts} attempts: {error}"
+            if isinstance(error, FaultInjected):
+                # typed reason: degraded service, not a correctness bug
+                reason = f"{_fault_kind(error)}: {reason}"
+                self.metrics.inc("faults.degraded", 1.0, now)
+            self._finalize(req, RequestStatus.FAILED, now, reason=reason)
             self.metrics.inc("service.failed", 1.0, now)
         return seq
 

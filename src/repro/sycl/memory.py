@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InvariantViolation, OutOfMemoryError
+from repro.errors import AllocationFault, InvariantViolation, OutOfMemoryError
 
 
 def _canary_value(dtype: np.dtype):
@@ -107,6 +107,12 @@ class MemoryManager:
         #: MemoryEvent so the trace exporter can draw a bytes-in-use
         #: counter track on the modeled timeline; None by default
         self.observer = None
+        #: fault-injection hooks (repro.faults), wired by
+        #: Queue.enable_fault_injection; None by default so malloc pays a
+        #: single is-None check.  ``fault_clock`` supplies the modeled
+        #: instant (the owning queue's kernel time) for ``after_ns`` rules.
+        self.fault_injector = None
+        self.fault_clock = None
 
     # ------------------------------------------------------------------ #
     # strict mode (opt-in; see repro.checking.invariants)                #
@@ -173,6 +179,16 @@ class MemoryManager:
         dtype = np.dtype(dtype)
         count = int(np.prod(shape, dtype=np.int64))
         nbytes = count * dtype.itemsize
+        if self.fault_injector is not None and kind is not UsmKind.HOST:
+            # checked before _charge so a failed allocation never perturbs
+            # the byte totals (timeline, peak, leak accounting)
+            now = self.fault_clock() if self.fault_clock is not None else 0.0
+            fault = self.fault_injector.check("alloc", now, label=label, bytes=nbytes)
+            if fault is not None:
+                raise AllocationFault(
+                    f"injected allocation failure for {label or 'buffer'} "
+                    f"({nbytes} B, fault #{fault.seq})"
+                )
         if kind is not UsmKind.HOST:
             self._charge(nbytes, label)
         guard_base = None

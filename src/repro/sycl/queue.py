@@ -26,6 +26,7 @@ from repro.sycl.device import Device, TunedParameters, nvidia_v100s
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.obs.span import SpanTracer
     from repro.perfmodel.cost import KernelWorkload
+from repro.errors import KernelLaunchError
 from repro.obs.span import NULL_SPAN as _NULL_SPAN
 from repro.sycl.event import Event
 from repro.sycl.memory import MemoryEvent, MemoryManager
@@ -84,10 +85,30 @@ class Queue:
         #: so tracing-off submission pays a single is-None check and the
         #: modeled timeline is bit-identical either way
         self.tracer = None
+        #: fault-injection hook (repro.faults.FaultInjector); None by
+        #: default — injection-off submission pays one is-None check and
+        #: the modeled timeline is bit-identical either way
+        self.fault_injector = None
 
     # ------------------------------------------------------------------ #
     def submit(self, workload: "KernelWorkload") -> Event:
-        """Account one kernel launch and return its completion event."""
+        """Account one kernel launch and return its completion event.
+
+        With a fault injector attached, the ``kernel_launch`` site is
+        checked *before* the kernel is charged: a fired fault raises
+        :class:`~repro.errors.KernelLaunchError` and leaves the profile,
+        sequence counter, and memory accounting untouched, exactly like a
+        launch the real runtime rejected.
+        """
+        if self.fault_injector is not None:
+            fault = self.fault_injector.check(
+                "kernel_launch", self.profile.total_ns, kernel=workload.name
+            )
+            if fault is not None:
+                raise KernelLaunchError(
+                    f"injected kernel-launch failure for {workload.name!r} "
+                    f"(fault #{fault.seq})"
+                )
         cost = None
         if self.enable_profiling:
             cost = self.cost_model.charge(workload)
@@ -126,6 +147,24 @@ class Queue:
         """Detach the tracer; the queue returns to the zero-cost path."""
         self.tracer = None
         self.memory.observer = None
+
+    # fault injection ---------------------------------------------------------
+    def enable_fault_injection(self, injector) -> None:
+        """Arm a :class:`~repro.faults.FaultInjector` on this queue.
+
+        Wires the ``kernel_launch`` site here and the ``alloc`` site on
+        the memory manager; the allocator's ``after_ns`` clock is this
+        queue's accumulated kernel time.
+        """
+        self.fault_injector = injector
+        self.memory.fault_injector = injector
+        self.memory.fault_clock = lambda: self.profile.total_ns
+
+    def disable_fault_injection(self) -> None:
+        """Detach the injector; submit/malloc return to the zero-cost path."""
+        self.fault_injector = None
+        self.memory.fault_injector = None
+        self.memory.fault_clock = None
 
     def span(self, name: str, arg=None, attrs=None):
         """Context manager opening a named span on the tracer.

@@ -72,6 +72,23 @@ class TestShortcutting:
         assert with_sc.n_components == without.n_components == 1
 
 
+class TestShortcutRegression:
+    # Found by the property test below: _shortcut() lowered vertex 5's
+    # label mid-loop without re-inserting it into the frontier, so edge
+    # (5, 4) was never re-examined and the two halves stayed split.
+    EDGES = [(0, 3), (1, 6), (2, 3), (2, 5), (4, 5), (4, 6)]
+
+    @pytest.mark.parametrize("layout", ["2lb", "bitmap", "vector", "boolmap"])
+    def test_shortcut_reinserts_changed_labels(self, layout):
+        queue = Queue(capacity_limit=0, enable_profiling=False)
+        src = [e[0] for e in self.EDGES]
+        dst = [e[1] for e in self.EDGES]
+        g = from_edges(queue, src, dst, n_vertices=7, directed=False)
+        result = cc(g, layout=layout, shortcutting=True)
+        assert result.n_components == 1
+        assert np.all(result.labels == 0)
+
+
 class TestUnionFindHelper:
     def test_reference_counter(self):
         n = count_components_reference(5, np.array([0, 3]), np.array([1, 4]))

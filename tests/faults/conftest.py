@@ -1,0 +1,11 @@
+"""Shared fixtures for the fault-injection suite."""
+
+import pytest
+
+from repro.service.workload import default_catalog
+
+
+@pytest.fixture(scope="module")
+def tiny_catalog():
+    """The seeded tiny catalog (rmat / road / web, all weighted)."""
+    return default_catalog(seed=0, scale="tiny")

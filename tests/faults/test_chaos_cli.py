@@ -1,0 +1,101 @@
+"""The ``python -m repro chaos`` harness: determinism, verdicts, wiring."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run_chaos(capsys, *extra):
+    code = main(["chaos", *extra])
+    return code, capsys.readouterr().out
+
+
+class TestChaosCLI:
+    def test_default_matrix_is_clean_and_deterministic(self, capsys):
+        code1, out1 = run_chaos(capsys)
+        code2, out2 = run_chaos(capsys)
+        assert code1 == code2 == 0
+        assert out1 == out2  # byte-identical report, same --fault-seed
+        assert "chaos verdict OK" in out1
+        for scenario in ("baseline", "kernel-launch", "alloc", "device-loss",
+                         "exchange", "mixed"):
+            assert scenario in out1
+
+    def test_fault_seed_changes_schedule_not_verdict(self, capsys):
+        code1, out1 = run_chaos(capsys, "--fault-seed", "0")
+        code2, out2 = run_chaos(capsys, "--fault-seed", "123")
+        assert code1 == code2 == 0
+        assert out1 != out2
+        assert "chaos verdict OK" in out2
+
+    def test_json_report_artifact(self, capsys, tmp_path):
+        path = tmp_path / "chaos.json"
+        code, _ = run_chaos(capsys, "--report", str(path))
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["meta"]["fault_seed"] == 0
+        names = [s["scenario"] for s in data["scenarios"]]
+        assert names[0] == "baseline" and "mixed" in names
+        baseline = data["scenarios"][0]
+        assert baseline["injected"] == 0 and baseline["divergences"] == 0
+        # every non-baseline scenario injected at least one fault and
+        # none of them corrupted a served result
+        for s in data["scenarios"][1:]:
+            assert s["injected"] > 0
+            assert s["divergences"] == 0 and s["spot_check_failures"] == 0
+        # the exchange scenario exercised checkpoint recovery
+        exchange = next(s for s in data["scenarios"] if s["scenario"] == "exchange")
+        assert exchange["recovered_supersteps"] > 0
+
+    def test_custom_rule_replaces_matrix(self, capsys, tmp_path):
+        path = tmp_path / "chaos.json"
+        code, out = run_chaos(
+            capsys, "--fault-rule", "alloc:1:2", "--report", str(path)
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert [s["scenario"] for s in data["scenarios"]] == ["baseline", "custom"]
+        assert data["scenarios"][1]["by_site"]["alloc"] == 2
+
+    def test_flight_artifact(self, capsys, tmp_path):
+        path = tmp_path / "flight.json"
+        code, out = run_chaos(capsys, "--flight", str(path))
+        assert code == 0
+        dump = json.loads(path.read_text())
+        kinds = {e["kind"] for e in dump["events"]}
+        assert "fault" in kinds  # the injected faults are in the ring
+
+    def test_slo_gate_consumes_chaos_report(self, capsys, tmp_path):
+        chaos_path = tmp_path / "chaos.json"
+        run_chaos(capsys, "--report", str(chaos_path))
+        out_path = tmp_path / "gate.json"
+        code = main([
+            "slo", "--skip-drift", "--chaos-report", str(chaos_path),
+            "--slo-output", str(out_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos corruption" in out
+        gate = json.loads(out_path.read_text())
+        assert gate["summary"]["chaos_divergences"] == 0
+        assert gate["pass"] is True
+
+    def test_slo_gate_rejects_divergent_chaos_report(self, tmp_path):
+        # hand-forge a corrupted report: the gate must flag it
+        from repro.obs.slo import SLOThresholds, _chaos_summary, evaluate_slo
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "scenarios": [
+                {"scenario": "baseline", "injected": 0,
+                 "divergences": 0, "spot_check_failures": 0},
+                {"scenario": "mixed", "injected": 5,
+                 "divergences": 2, "spot_check_failures": 1},
+            ]
+        }))
+        summary = _chaos_summary(str(path))
+        assert summary["chaos_divergences"] == 3
+        violations = evaluate_slo(summary, SLOThresholds())
+        assert any("chaos corruption" in v for v in violations)

@@ -1,0 +1,138 @@
+"""The injector itself: rule parsing, determinism, budgets, hooks."""
+
+import pytest
+
+from repro.faults import SITES, FaultInjector, FaultRule, parse_fault_rule
+
+
+class TestParseRule:
+    def test_site_only_defaults(self):
+        r = parse_fault_rule("kernel_launch")
+        assert r == FaultRule("kernel_launch", probability=1.0, count=1, after_ns=0.0)
+
+    def test_full_spec(self):
+        r = parse_fault_rule("alloc:0.25:3:50000")
+        assert (r.site, r.probability, r.count, r.after_ns) == ("alloc", 0.25, 3, 50000.0)
+
+    def test_count_zero_means_unlimited(self):
+        assert parse_fault_rule("exchange:0.5:0").count is None
+
+    def test_dashes_normalize_to_underscores(self):
+        assert parse_fault_rule("device-loss").site == "device_loss"
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            parse_fault_rule("gpu_fire")
+
+    def test_malformed_probability_rejected(self):
+        with pytest.raises(ValueError, match="malformed fault rule"):
+            parse_fault_rule("alloc:lots")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultRule("alloc", probability=1.5)
+
+    def test_mode_only_for_exchange(self):
+        with pytest.raises(ValueError, match="only valid for the exchange site"):
+            FaultRule("alloc", mode="drop")
+
+
+class TestDeterminism:
+    RULES = [
+        FaultRule("kernel_launch", probability=0.3, count=5),
+        FaultRule("exchange", probability=0.5, count=None),
+    ]
+
+    def _drive(self, injector):
+        events = []
+        for k in range(50):
+            site = "kernel_launch" if k % 2 == 0 else "exchange"
+            ev = injector.check(site, now_ns=float(k * 100), step=k)
+            if ev is not None:
+                events.append((ev.seq, ev.site, ev.ts_ns, ev.rule_index))
+        return events
+
+    def test_same_seed_same_schedule(self):
+        a = self._drive(FaultInjector(self.RULES, seed=42))
+        b = self._drive(FaultInjector(self.RULES, seed=42))
+        assert a == b and a  # identical AND non-empty
+
+    def test_different_seed_different_schedule(self):
+        a = self._drive(FaultInjector(self.RULES, seed=1))
+        b = self._drive(FaultInjector(self.RULES, seed=2))
+        assert a != b
+
+    def test_reset_replays_identically(self):
+        inj = FaultInjector(self.RULES, seed=42)
+        a = self._drive(inj)
+        draws = inj.draws
+        inj.reset()
+        assert inj.fired == [] and inj.draws == 0
+        assert self._drive(inj) == a
+        assert inj.draws == draws
+
+    def test_one_draw_per_armed_matching_rule(self):
+        inj = FaultInjector(
+            [FaultRule("alloc", probability=0.0001, count=None)], seed=0
+        )
+        inj.check("kernel_launch", 0.0)  # no matching rule: no draw
+        assert inj.draws == 0
+        inj.check("alloc", 0.0)
+        assert inj.draws == 1
+
+
+class TestBudgets:
+    def test_count_caps_fires(self):
+        inj = FaultInjector([FaultRule("alloc", probability=1.0, count=2)], seed=0)
+        fires = [inj.check("alloc", 0.0) for _ in range(5)]
+        assert [f is not None for f in fires] == [True, True, False, False, False]
+        assert not inj.armed("alloc")
+
+    def test_after_ns_gates_arming(self):
+        inj = FaultInjector(
+            [FaultRule("kernel_launch", probability=1.0, count=1, after_ns=1000.0)],
+            seed=0,
+        )
+        assert inj.check("kernel_launch", 999.0) is None
+        assert inj.draws == 0  # not armed yet: no draw consumed
+        assert inj.check("kernel_launch", 1000.0) is not None
+
+    def test_armed_tracks_all_sites(self):
+        inj = FaultInjector([FaultRule(s, count=1) for s in SITES], seed=0)
+        for site in SITES:
+            assert inj.armed(site)
+        for site in SITES:
+            inj.check(site, 0.0)
+        for site in SITES:
+            assert not inj.armed(site)
+
+    def test_counts_by_site_includes_zeros(self):
+        inj = FaultInjector([FaultRule("alloc", count=1)], seed=0)
+        inj.check("alloc", 0.0)
+        counts = inj.counts_by_site()
+        assert counts["alloc"] == 1
+        assert set(counts) == set(SITES)
+
+
+class TestHooks:
+    def test_metrics_and_flight_record_fires(self):
+        from repro.obs.flight import FlightRecorder
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        flight = FlightRecorder(16)
+        inj = FaultInjector(
+            [FaultRule("exchange", count=2)], seed=0, metrics=metrics, flight=flight
+        )
+        inj.check("exchange", 10.0, superstep=3)
+        inj.check("exchange", 20.0, superstep=4)
+        assert metrics.value("faults.injected") == 2.0
+        assert metrics.value("faults.injected.exchange") == 2.0
+        faults = flight.events("fault")
+        assert len(faults) == 2
+        assert faults[0]["site"] == "exchange"
+        assert faults[0]["superstep"] == 3
+
+    def test_exchange_mode_defaults_to_drop(self):
+        inj = FaultInjector([FaultRule("exchange", count=1)], seed=0)
+        assert inj.check("exchange", 0.0).mode == "drop"

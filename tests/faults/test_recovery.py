@@ -1,0 +1,135 @@
+"""Recovery contracts: BSP checkpoint rollback bit-identity, gang
+failover through the scheduler, and end-to-end digest stability."""
+
+import numpy as np
+import pytest
+
+from repro.checking import graphgen
+from repro.dist import distributed_bfs, distributed_cc, distributed_sssp
+from repro.errors import ExchangeFault
+from repro.faults import FaultInjector, FaultRule
+
+
+@pytest.fixture(scope="module")
+def coo():
+    return graphgen.power_law(n=160, avg_degree=4.0, seed=11)
+
+
+class TestExchangeCheckpointRecovery:
+    def test_bfs_recovers_bit_identical(self, coo):
+        clean = distributed_bfs(coo, 2, 0)
+        # always-fire with a finite budget: the first two attempts at the
+        # crossing superstep each lose their message, the third is clean
+        inj = FaultInjector([FaultRule("exchange", count=2)], seed=5)
+        faulted = distributed_bfs(coo, 2, 0, injector=inj)
+        assert len(inj.fired) == 2
+        assert faulted.recovered_supersteps > 0
+        np.testing.assert_array_equal(faulted.distances, clean.distances)
+        # failed attempts cost time: recovery is never free
+        assert faulted.makespan_ns > clean.makespan_ns
+        assert len(faulted.supersteps) == len(clean.supersteps)
+
+    def test_sssp_recovers_bit_identical(self, coo):
+        clean = distributed_sssp(coo, 2, 0)
+        inj = FaultInjector([FaultRule("exchange", count=1)], seed=2)
+        faulted = distributed_sssp(coo, 2, 0, injector=inj)
+        assert inj.fired and faulted.recovered_supersteps > 0
+        np.testing.assert_array_equal(faulted.distances, clean.distances)
+
+    def test_cc_recovers_bit_identical(self, coo):
+        clean = distributed_cc(coo, 2)
+        inj = FaultInjector([FaultRule("exchange", count=2)], seed=3)
+        faulted = distributed_cc(coo, 2, injector=inj)
+        assert inj.fired and faulted.recovered_supersteps > 0
+        np.testing.assert_array_equal(faulted.labels, clean.labels)
+
+    def test_unrecoverable_exchange_raises_after_retry_bound(self, coo):
+        # unlimited always-fire drops: every rollback replays into the
+        # same wall, so the engine must give up with a typed error
+        inj = FaultInjector(
+            [FaultRule("exchange", probability=1.0, count=None)], seed=0
+        )
+        with pytest.raises(ExchangeFault, match="checkpoint rollbacks"):
+            distributed_bfs(coo, 2, 0, injector=inj)
+
+    def test_retry_counts_and_metrics(self, coo):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        inj = FaultInjector([FaultRule("exchange", count=2)], seed=5)
+        res = distributed_bfs(coo, 2, 0, metrics=metrics, injector=inj)
+        assert sum(s.retries for s in res.supersteps) >= res.recovered_supersteps
+        assert metrics.value("faults.recovered.exchange") == float(
+            res.recovered_supersteps
+        )
+        assert metrics.value("dist.exchange.dropped") == float(len(inj.fired))
+
+    def test_no_injector_unchanged(self, coo):
+        # the injector-free path must be byte-for-byte the PR8 engine
+        a = distributed_bfs(coo, 2, 0)
+        b = distributed_bfs(coo, 2, 0, injector=None)
+        assert a.makespan_ns == b.makespan_ns
+        assert a.wire_bytes == b.wire_bytes
+        assert a.recovered_supersteps == 0
+        np.testing.assert_array_equal(a.distances, b.distances)
+
+
+class TestGangRecoveryThroughScheduler:
+    def test_gang_retries_after_unrecoverable_exchange(self, tiny_catalog):
+        from repro.service.request import Request
+        from repro.service.scheduler import QueryScheduler, SchedulerConfig
+
+        # 3 fires exhaust the schedule during attempt 1's rollbacks is
+        # not guaranteed — so give the rule a finite budget smaller than
+        # the retry bound  times messages; attempt 2 then runs clean
+        inj = FaultInjector(
+            [FaultRule("exchange", probability=1.0, count=8)], seed=0
+        )
+        s = QueryScheduler(
+            pool=("v100s", "mi100"),
+            catalog=tiny_catalog,
+            config=SchedulerConfig(fault_injector=inj, keep_result_digests=True),
+        )
+        gang = Request(req_id=0, algorithm="bfs", graph="rmat", devices=2)
+        report = s.run([gang])
+        rec = report.records[0]
+        assert rec.status.value == "completed"
+        assert rec.gang == 2
+        assert rec.result_digest  # digests on: chaos can compare this run
+
+    def test_completed_digests_match_fault_free_run(self, tiny_catalog):
+        from tests.service.conftest import burst
+
+        from repro.service.request import Request
+        from repro.service.scheduler import QueryScheduler, SchedulerConfig
+
+        def trace():
+            gangs = [
+                Request(
+                    req_id=10 + k, algorithm=alg, graph="rmat",
+                    arrival_ns=50_000.0 * (k + 1), devices=2,
+                )
+                for k, alg in enumerate(("bfs", "sssp", "cc"))
+            ]
+            return burst(10) + gangs
+        clean = QueryScheduler(
+            pool=("v100s", "v100s", "mi100"), catalog=tiny_catalog,
+            config=SchedulerConfig(keep_result_digests=True),
+        ).run(trace())
+        inj = FaultInjector(
+            [
+                FaultRule("kernel_launch", probability=0.01, count=2),
+                FaultRule("exchange", count=2),
+            ],
+            seed=9,
+        )
+        chaotic = QueryScheduler(
+            pool=("v100s", "v100s", "mi100"), catalog=tiny_catalog,
+            config=SchedulerConfig(fault_injector=inj, keep_result_digests=True),
+        ).run(trace())
+        assert inj.fired, "schedule never fired; tune seed/probability"
+        want = {r.req_id: r.result_digest for r in clean.completed()}
+        got = {r.req_id: r.result_digest for r in chaotic.completed()}
+        # recoverable schedule: everything completed, every digest equal
+        assert set(got) == set(want)
+        assert got == want
