@@ -33,6 +33,15 @@ time, and ghost-exchange wire bytes against the uncompressed id-list
 bytes — the numbers the SLO gate watches for comm-cost drift.  The run
 fails if any distributed result diverges from the single-device digest
 or any wire payload exceeds its id-list equivalent.
+
+``--fused`` benchmarks the execution-plan layer's kernel-fusion pass
+(:mod:`repro.exec`): every algorithm × layout × graph runs with
+``fuse=False`` and ``fuse=True`` on fresh profiling queues, emitting
+``BENCH_pr10.json`` with both modeled kernel times and the reduction.
+Results must be **bit-identical** (exact digest over the result array)
+and the BFS and CC hot cases must show a positive modeled-ns reduction,
+else the run exits nonzero — fusion that changes results or saves
+nothing is a regression either way.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.algorithms.bfs import bfs
 from repro.algorithms.cc import cc
+from repro.algorithms.pagerank import pagerank
 from repro.algorithms.sssp import sssp
 from repro.checking import graphgen
 from repro.frontier.base import scan_memoization
@@ -72,6 +82,14 @@ DIST_HOT_ALGORITHM = "bfs"
 DIST_HOT_GRAPH = "power_law"
 DIST_HOT_DEVICES = 4
 
+#: the --fused mode adds pagerank — its scatter+apply pair is the
+#: biggest single fusion win in the suite
+FUSED_ALGORITHMS = ("bfs", "sssp", "cc", "pagerank")
+#: hot cases the fusion SLO drift check reads; both must show a
+#: positive modeled-ns reduction for the run to pass
+FUSE_HOT_CASES = (("bfs", "chain"), ("cc", "power_law"))
+FUSE_HOT_LAYOUT = "2lb"
+
 
 def chain_graph(n: int) -> COOGraph:
     """Bidirectional path graph: the deepest trajectory per vertex.
@@ -94,23 +112,39 @@ def make_cases(quick: bool, seed: int):
     ]
 
 
-def run_algorithm(algorithm: str, graph, graph_und, layout: str):
+def run_algorithm(algorithm: str, graph, graph_und, layout: str, fuse: bool = False):
     if algorithm == "bfs":
-        return bfs(graph, 0, layout=layout)
+        return bfs(graph, 0, layout=layout, fuse=fuse)
     if algorithm == "sssp":
-        return sssp(graph, 0, layout=layout)
+        return sssp(graph, 0, layout=layout, fuse=fuse)
     if algorithm == "cc":
-        return cc(graph_und, layout=layout)
+        return cc(graph_und, layout=layout, fuse=fuse)
+    if algorithm == "pagerank":
+        return pagerank(graph, layout=layout, fuse=fuse)
     raise ValueError(algorithm)
 
 
-def result_digest(algorithm: str, result) -> str:
+def result_array(algorithm: str, result) -> np.ndarray:
     if algorithm in ("bfs", "sssp"):
-        arr = np.asarray(result.distances, dtype=np.float64)
-    else:
-        arr = np.asarray(result.labels, dtype=np.float64)
+        return np.asarray(result.distances)
+    if algorithm == "pagerank":
+        return np.asarray(result.ranks)
+    return np.asarray(result.labels)
+
+
+def result_digest(algorithm: str, result) -> str:
+    arr = result_array(algorithm, result).astype(np.float64)
     arr = np.where(np.isfinite(arr), arr, -1.0)
     return f"{arr.size}:{float(arr.sum()):.6g}:{float((arr * np.arange(1, arr.size + 1)).sum()):.6g}"
+
+
+def exact_digest(algorithm: str, result) -> str:
+    """Bit-exact digest — the fusion contract is stricter than drift."""
+    import hashlib
+
+    arr = np.ascontiguousarray(result_array(algorithm, result))
+    h = hashlib.blake2b(arr.tobytes(), digest_size=16)
+    return f"{arr.dtype}:{arr.shape}:{h.hexdigest()}"
 
 
 def modeled_ns(algorithm: str, coo, coo_und, layout: str, memo: bool) -> int:
@@ -260,6 +294,94 @@ def run_dist(args) -> int:
     return 0
 
 
+def bench_fused_case(algorithm: str, graph_name: str, coo, coo_und, layout: str) -> dict:
+    times = {}
+    digests = {}
+    iterations = {}
+    for fuse in (False, True):
+        q = Queue(get_device("v100s"), enable_profiling=True, capacity_limit=0)
+        b = GraphBuilder(q)
+        graph = b.to_csr(coo)
+        graph_und = b.to_csr(coo_und) if algorithm == "cc" else None
+        q.reset_profile()
+        result = run_algorithm(algorithm, graph, graph_und, layout, fuse=fuse)
+        times[fuse] = int(q.elapsed_ns)
+        digests[fuse] = exact_digest(algorithm, result)
+        iterations[fuse] = int(result.iterations)
+    reduction = 1.0 - times[True] / times[False] if times[False] else 0.0
+    return {
+        "algorithm": algorithm,
+        "graph": graph_name,
+        "layout": layout,
+        "iterations": iterations[False],
+        "modeled_ns_unfused": times[False],
+        "modeled_ns_fused": times[True],
+        "reduction": round(reduction, 4),
+        "results_match": digests[False] == digests[True],
+        "iterations_match": iterations[False] == iterations[True],
+    }
+
+
+def run_fused(args) -> int:
+    """The --fused mode: kernel-fusion benchmark, emits BENCH_pr10.json."""
+    entries = []
+    for graph_name, coo in make_cases(args.quick, args.seed):
+        coo_und = coo.symmetrized()
+        for algorithm in FUSED_ALGORITHMS:
+            for layout in LAYOUTS:
+                entry = bench_fused_case(algorithm, graph_name, coo, coo_und, layout)
+                entries.append(entry)
+                flag = "" if entry["results_match"] and entry["iterations_match"] else "  <-- MISMATCH"
+                print(
+                    f"{algorithm:8s} {graph_name:12s} {layout:7s} "
+                    f"unfused={entry['modeled_ns_unfused']:12d}ns "
+                    f"fused={entry['modeled_ns_fused']:12d}ns "
+                    f"saved={entry['reduction'] * 100:5.1f}% "
+                    f"iters={entry['iterations']}{flag}"
+                )
+
+    hot = {}
+    for algorithm, graph_name in FUSE_HOT_CASES:
+        e = next(
+            e for e in entries
+            if e["algorithm"] == algorithm
+            and e["graph"] == graph_name
+            and e["layout"] == FUSE_HOT_LAYOUT
+        )
+        hot[algorithm] = {
+            "case": f"{algorithm}/{FUSE_HOT_LAYOUT}/{graph_name}",
+            "modeled_ns_unfused": e["modeled_ns_unfused"],
+            "modeled_ns_fused": e["modeled_ns_fused"],
+            "reduction": e["reduction"],
+            "reduced": bool(e["reduction"] > 0),
+        }
+    report = {
+        "benchmark": "trajectory-fused",
+        "pr": 10,
+        "mode": "quick" if args.quick else "full",
+        "seed": args.seed,
+        "device": "v100s",
+        "hot": hot,
+        "all_results_match": all(e["results_match"] for e in entries),
+        "all_hot_reduced": all(h["reduced"] for h in hot.values()),
+        "entries": entries,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    for h in hot.values():
+        print(f"\nfusion hot case {h['case']}: {h['reduction'] * 100:.1f}% modeled-ns saved "
+              f"({h['modeled_ns_unfused']} -> {h['modeled_ns_fused']}ns)", end="")
+    print(f"\nwrote {args.output}")
+
+    bad = [e for e in entries if not (e["results_match"] and e["iterations_match"])]
+    if bad:
+        print(f"ERROR: {len(bad)} fused entries diverge from unfused results", file=sys.stderr)
+        return 1
+    if not report["all_hot_reduced"]:
+        print("ERROR: fusion hot case shows no modeled-ns reduction", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--quick", action="store_true", help="smaller graphs, fewer repeats (CI)")
@@ -270,17 +392,23 @@ def main(argv=None) -> int:
         help="benchmark the repro.dist BSP engine instead (emits BENCH_pr8.json)",
     )
     parser.add_argument(
+        "--fused", action="store_true",
+        help="benchmark repro.exec kernel fusion instead (emits BENCH_pr10.json)",
+    )
+    parser.add_argument(
         "--output",
         default=None,
-        help="output JSON path (default: repo-root BENCH_pr3.json, or "
-        "BENCH_pr8.json with --dist)",
+        help="output JSON path (default: repo-root BENCH_pr3.json, "
+        "BENCH_pr8.json with --dist, or BENCH_pr10.json with --fused)",
     )
     args = parser.parse_args(argv)
     if args.output is None:
-        name = "BENCH_pr8.json" if args.dist else "BENCH_pr3.json"
+        name = "BENCH_pr8.json" if args.dist else "BENCH_pr10.json" if args.fused else "BENCH_pr3.json"
         args.output = str(Path(__file__).resolve().parent.parent / name)
     if args.dist:
         return run_dist(args)
+    if args.fused:
+        return run_fused(args)
     repeats = args.repeats or (3 if args.quick else 5)
 
     entries = []

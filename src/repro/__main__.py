@@ -9,10 +9,12 @@ Usage::
     python -m repro all
     python -m repro check --quick          # differential-testing oracle
     python -m repro check --strict --full  # + per-kernel invariant checks
+    python -m repro check --fused          # + fusion on/off differential axis
     python -m repro trace bfs 2lb          # span-traced run -> Perfetto JSON
     python -m repro serve-sim --seed 7     # multi-tenant load simulation
     python -m repro flight dump.json       # pretty-print a flight dump
     python -m repro slo                    # SLO / regression gate
+    python -m repro chaos                  # seeded fault-injection matrix
 
 Environment: ``REPRO_SCALE`` and ``REPRO_SOURCES`` set the defaults.
 """
@@ -37,16 +39,21 @@ EXPERIMENTS = {
     "fig10": lambda args: E.fig10_portability(scale=args.scale, n_sources=args.sources),
 }
 
+#: registered subcommands beyond the table/figure experiments.  The
+#: module docstring's usage block and the ``--help`` epilog are kept in
+#: sync with this list (tests/bench/test_cli.py asserts it).
+SUBCOMMANDS = ("all", "list", "check", "trace", "serve-sim", "flight", "slo", "chaos")
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the SYgraph paper's tables and figures on the simulated substrate.",
+        epilog="subcommands beyond the tables/figures: " + ", ".join(SUBCOMMANDS),
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS)
-        + ["all", "list", "check", "trace", "serve-sim", "flight", "slo", "chaos"],
+        choices=sorted(EXPERIMENTS) + list(SUBCOMMANDS),
         help="which table/figure to regenerate ('all' runs everything; "
         "'check' runs the differential-testing matrix; 'trace' runs one "
         "algorithm with the span tracer and exports a Perfetto JSON; "

@@ -10,6 +10,10 @@ Backward phase: walking levels in reverse, dependencies accumulate as
 ``delta[src] += sigma[src]/sigma[dst] * (1 + delta[dst])`` and the BC
 score of every non-source vertex gains its delta.
 
+As a plan: the forward BFS is the main fixpoint loop; the backward
+level walk is the ``teardown`` — a :class:`~repro.exec.LoopStep` of
+store-less advances wrapped in per-level ``bc.back`` spans.
+
 ``bc(graph, sources=...)`` accumulates over a source set (exact BC when
 ``sources`` is all vertices; the paper's evaluation samples 200 random
 sources, which is the standard approximation).
@@ -22,8 +26,16 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.exec import (
+    AdvanceStep,
+    ExecContext,
+    HostStep,
+    LoopStep,
+    Plan,
+    PlanExecutor,
+    SpanStep,
+)
 from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier
-from repro.operators import advance
 from repro.operators.advance import AdvanceConfig
 
 
@@ -43,6 +55,7 @@ def bc(
     config: Optional[AdvanceConfig] = None,
     normalize: bool = False,
     bits: Optional[int] = None,
+    fuse: bool = False,
 ) -> BCResult:
     """Brandes BC accumulated over ``sources`` (default: single source 0).
 
@@ -55,7 +68,7 @@ def bc(
     scores = np.zeros(n, dtype=np.float64)
     total_iters = 0
     for s in sources:
-        delta, iters = _brandes_single(graph, int(s), layout, config, bits)
+        delta, iters = _brandes_single(graph, int(s), layout, config, bits, fuse)
         scores += delta
         total_iters += iters
     if normalize and n > 2:
@@ -69,6 +82,7 @@ def _brandes_single(
     layout: str,
     config: Optional[AdvanceConfig],
     bits: Optional[int] = None,
+    fuse: bool = False,
 ):
     """One forward+backward Brandes sweep; returns (dependency, iters)."""
     queue = graph.queue
@@ -87,67 +101,100 @@ def _brandes_single(
     out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     in_frontier.insert(source)
 
-    with queue.span("bc", source):
-        # ---- forward: level-synchronous BFS with sigma accumulation ----
-        levels: List[np.ndarray] = [np.array([source], dtype=np.int64)]
-        iteration = 0
-        while not in_frontier.empty():
-            depth = iteration + 1
+    # ---- forward: level-synchronous BFS with sigma accumulation ----
+    levels: List[np.ndarray] = [np.array([source], dtype=np.int64)]
 
-            def fwd(src, dst, eid, w):
-                unseen = dist[dst] == -1
-                on_level = dist[dst] == depth
-                tree = unseen | on_level
-                np.add.at(sigma, dst[tree], sigma[src][tree])
-                # mark depth immediately so same-level duplicates accumulate
-                # sigma but are admitted to the frontier only once (bitmap)
-                dist[dst[tree]] = depth
-                return tree
+    def fwd_factory(ctx):
+        depth = ctx.iteration + 1
 
-            with queue.span("bc.iter", iteration):
-                tr = queue.tracer
-                if tr is not None:
-                    tr.sample_frontier(in_frontier)
-                advance.frontier(graph, in_frontier, out_frontier, fwd, config).wait()
-                # Sigma/delta accumulation is not idempotent, so BC (unlike
-                # BFS) cannot tolerate duplicate frontier entries: the vector
-                # layout admits one copy per tree edge, and re-expanding a
-                # vertex would double-count its paths.  Rebuild each level
-                # from unique ids.
-                level = np.unique(out_frontier.active_elements())
-                if level.size:
-                    levels.append(level)
-                in_frontier.clear()
-                in_frontier.insert(level)
-                out_frontier.clear()
-                iteration += 1
+        def fwd(src, dst, eid, w):
+            unseen = dist[dst] == -1
+            on_level = dist[dst] == depth
+            tree = unseen | on_level
+            np.add.at(sigma, dst[tree], sigma[src][tree])
+            # mark depth immediately so same-level duplicates accumulate
+            # sigma but are admitted to the frontier only once (bitmap)
+            dist[dst[tree]] = depth
+            return tree
 
-        # ---- backward: dependency accumulation, deepest level first ----
-        # Edges (u -> v) with dist[v] == dist[u] + 1 contribute to u's
-        # dependency, so each pass advances from the level *above* the one
-        # being settled (its predecessors) with a store-less advance.
-        prev_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
+        return fwd
 
-        def back(src, dst, eid, w):
-            tree = dist[dst] == dist[src] + 1
-            contrib = sigma[src][tree] / np.maximum(sigma[dst][tree], 1e-300) * (1.0 + delta[dst][tree])
-            np.add.at(delta, src[tree], contrib)
-            return np.zeros(src.size, dtype=bool)
+    def rebuild_level(ctx):
+        # Sigma/delta accumulation is not idempotent, so BC (unlike
+        # BFS) cannot tolerate duplicate frontier entries: the vector
+        # layout admits one copy per tree edge, and re-expanding a
+        # vertex would double-count its paths.  Rebuild each level
+        # from unique ids.
+        level = np.unique(out_frontier.active_elements())
+        if level.size:
+            levels.append(level)
+        in_frontier.clear()
+        in_frontier.insert(level)
+        out_frontier.clear()
 
-        for li in range(len(levels) - 1, 0, -1):
-            with queue.span("bc.back", li):
-                prev_frontier.clear()
-                prev_frontier.insert(levels[li - 1])
-                tr = queue.tracer
-                if tr is not None:
-                    tr.sample_frontier(prev_frontier)
-                advance.frontier(graph, prev_frontier, None, back, config).wait()
-                iteration += 1
-                queue.memory.tick("bc.back")
+    # ---- backward: dependency accumulation, deepest level first ----
+    # Edges (u -> v) with dist[v] == dist[u] + 1 contribute to u's
+    # dependency, so each pass advances from the level *above* the one
+    # being settled (its predecessors) with a store-less advance.
+    def back(src, dst, eid, w):
+        tree = dist[dst] == dist[src] + 1
+        contrib = sigma[src][tree] / np.maximum(sigma[dst][tree], 1e-300) * (1.0 + delta[dst][tree])
+        np.add.at(delta, src[tree], contrib)
+        return np.zeros(src.size, dtype=bool)
+
+    def back_init(ctx):
+        ctx.state["li"] = len(levels) - 1
+        ctx.frontiers["prev"] = make_frontier(
+            queue, n, FrontierView.VERTEX, layout=layout, **kwargs
+        )
+
+    def back_prologue(ctx):
+        prev = ctx.frontier("prev")
+        prev.clear()
+        prev.insert(levels[ctx.state["li"] - 1])
+        tr = ctx.queue.tracer
+        if tr is not None:
+            tr.sample_frontier(prev)
+
+    def back_epilogue(ctx):
+        ctx.iteration += 1
+        ctx.queue.memory.tick("bc.back")
+        ctx.state["li"] -= 1
+
+    plan = Plan(
+        name="bc",
+        span_arg=source,
+        iter_span="bc.iter",
+        steps=[AdvanceStep(fwd_factory), HostStep(rebuild_level)],
+        teardown=[
+            HostStep(back_init),
+            LoopStep(
+                body=[
+                    SpanStep(
+                        "bc.back",
+                        arg=lambda ctx: ctx.state["li"],
+                        body=[
+                            HostStep(back_prologue),
+                            AdvanceStep(lambda ctx: back, input="prev", output=None),
+                            HostStep(back_epilogue),
+                        ],
+                    )
+                ],
+                until=lambda ctx: ctx.state["li"] < 1,
+            ),
+        ],
+    )
+    ctx = ExecContext(
+        queue,
+        graphs={"csr": graph},
+        frontiers={"in": in_frontier, "out": out_frontier},
+        config=config,
+    )
+    PlanExecutor(queue, fuse=fuse).run(plan, ctx)
 
     dependency = np.asarray(delta).copy()
     dependency[source] = 0.0
     queue.free(dist)
     queue.free(sigma)
     queue.free(delta)
-    return dependency, iteration
+    return dependency, ctx.iteration

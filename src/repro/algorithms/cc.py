@@ -10,6 +10,15 @@ label changed re-enter the frontier.  A *shortcutting* pass (Stergiou's
 optimization) pointer-jumps labels to their current root every iteration,
 collapsing long chains — togglable to measure its effect.
 
+As a plan: the init advance is the ``setup`` (inside a ``cc.init``
+span), the shortcut is a post-tested :class:`~repro.exec.LoopStep` of
+pure-compute pointer jumps preceding the propagate advance, and the
+final post-convergence shortcut is the ``teardown``.  Under ``fuse=True``
+the shortcut's *last* pointer-jump (the one that proves quiescence) is
+folded into the propagate advance as its prologue — the hot-loop pair
+GraphBLAST-style fusion targets.  :func:`propagate_steps` is shared with
+the distributed CC plugin.
+
 CC is defined on the undirected graph; callers should pass a symmetrized
 CSR (``COOGraph.symmetrized()``), as the benchmark harness does.
 """
@@ -17,12 +26,23 @@ CSR (``COOGraph.symmetrized()``), as the benchmark harness does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier, swap
-from repro.operators import advance, compute
+from repro.exec import (
+    AdvanceStep,
+    ComputeStep,
+    ExecContext,
+    HostStep,
+    LoopStep,
+    Plan,
+    PlanExecutor,
+    SpanStep,
+    Step,
+    SwapClearStep,
+)
+from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier
 from repro.operators.advance import AdvanceConfig
 
 
@@ -41,6 +61,13 @@ class CCResult:
         return bool(self.labels[u] == self.labels[v])
 
 
+def propagate_steps(labels) -> List[Step]:
+    """The min-label propagation advance as IR — shared verbatim by
+    :func:`cc` and the distributed CC plugin."""
+    functor = _propagate_functor(labels)
+    return [AdvanceStep(lambda ctx: functor)]
+
+
 def cc(
     graph,
     layout: str = "2lb",
@@ -48,6 +75,7 @@ def cc(
     shortcutting: bool = True,
     max_iterations: Optional[int] = None,
     bits: Optional[int] = None,
+    fuse: bool = False,
 ) -> CCResult:
     """Label-propagation connected components over an undirected CSR.
 
@@ -61,34 +89,38 @@ def cc(
     kwargs = layout_bits_kwargs(layout, bits)
     in_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     out_frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
-    with queue.span("cc"):
-        with queue.span("cc.init"):
+
+    steps: List[Step] = []
+    if shortcutting:
+        steps.extend(_shortcut_steps(labels, reinsert="in"))
+    steps.extend(propagate_steps(labels))
+    steps.append(SwapClearStep())
+
+    plan = Plan(
+        name="cc",
+        iter_span="cc.iter",
+        setup=[
             # initialization advance: all vertices distribute their labels
-            advance.vertices(graph, out_frontier, _propagate_functor(labels), config).wait()
-        swap(in_frontier, out_frontier)
-        out_frontier.clear()
+            SpanStep("cc.init", [AdvanceStep(lambda ctx: _propagate_functor(labels), mode="vertices")]),
+            SwapClearStep(),
+        ],
+        steps=steps,
+        teardown=_shortcut_steps(labels, reinsert=None) if shortcutting else [],
+        limit=max_iterations if max_iterations is not None else n + 1,
+        start_iteration=1,  # iteration 0 is the init advance
+        tick=lambda ctx: f"cc.iter{ctx.iteration}",
+    )
+    ctx = ExecContext(
+        queue,
+        graphs={"csr": graph},
+        frontiers={"in": in_frontier, "out": out_frontier},
+        config=config,
+    )
+    PlanExecutor(queue, fuse=fuse).run(plan, ctx)
 
-        iteration = 1
-        limit = max_iterations if max_iterations is not None else n + 1
-        functor = _propagate_functor(labels)
-        while not in_frontier.empty() and iteration < limit:
-            with queue.span("cc.iter", iteration):
-                tr = queue.tracer
-                if tr is not None:
-                    tr.sample_frontier(in_frontier)
-                if shortcutting:
-                    _shortcut(graph, labels, in_frontier)
-                advance.frontier(graph, in_frontier, out_frontier, functor, config).wait()
-                swap(in_frontier, out_frontier)
-                out_frontier.clear()
-                iteration += 1
-                queue.memory.tick(f"cc.iter{iteration}")
-
-        if shortcutting:
-            _shortcut(graph, labels)
     result = np.asarray(labels).copy()
     queue.free(labels)
-    return CCResult(labels=result, iterations=iteration)
+    return CCResult(labels=result, iterations=ctx.iteration)
 
 
 def _propagate_functor(labels):
@@ -103,38 +135,46 @@ def _propagate_functor(labels):
     return functor
 
 
-def _shortcut(graph, labels, frontier=None) -> None:
-    """Stergiou shortcutting: pointer-jump every label to its root.
+def _shortcut_steps(labels, reinsert: Optional[str]) -> List[Step]:
+    """Stergiou shortcutting as IR: pointer-jump every label to its root.
 
-    ``labels[v] = labels[labels[v]]`` to fixpoint — a pure compute kernel
-    (no neighbor access), so it is charged as such.
+    ``labels[v] = labels[labels[v]]`` to fixpoint — a post-tested loop of
+    pure compute kernels (no neighbor access), charged as such.
 
-    When called mid-propagation, ``frontier`` must be the current input
+    When run mid-propagation, ``reinsert`` names the current input
     frontier: any vertex whose label shrinks here holds new information
     its neighbors have not seen, so it must re-enter the frontier or
     propagation can terminate before the label reaches every member of
     the component (the jump bypasses the advance's own re-insertion).
-    The final post-convergence call passes no frontier — at that point
-    every edge already joins equal labels.
+    The final post-convergence pass sets ``reinsert=None`` — at that
+    point every edge already joins equal labels.
     """
-    while True:
-        changed = [False]
-        moved_ids = [] if frontier is not None else None
+
+    def jump_factory(ctx):
+        st = ctx.state
+        st["cc.changed"] = False
+        st["cc.moved"] = [] if reinsert is not None else None
 
         def jump(ids):
             parent = labels[labels[ids]]
             moved = parent != labels[ids]
             if moved.any():
-                changed[0] = True
-                if moved_ids is not None:
-                    moved_ids.append(np.asarray(ids)[moved])
+                st["cc.changed"] = True
+                if st["cc.moved"] is not None:
+                    st["cc.moved"].append(np.asarray(ids)[moved])
             labels[ids] = parent
 
-        compute.execute_all(graph, jump, write_bytes=8).wait()
+        return jump
+
+    def reinsert_moved(ctx):
+        moved_ids = ctx.state["cc.moved"]
         if moved_ids:
-            frontier.insert(np.unique(np.concatenate(moved_ids)))
-        if not changed[0]:
-            break
+            ctx.frontier(reinsert).insert(np.unique(np.concatenate(moved_ids)))
+
+    body: List[Step] = [ComputeStep(jump_factory, frontier=None, write_bytes=8)]
+    if reinsert is not None:
+        body.append(HostStep(reinsert_moved))
+    return [LoopStep(body=body, until=lambda ctx: not ctx.state["cc.changed"], post=True)]
 
 
 def count_components_reference(n: int, src: np.ndarray, dst: np.ndarray) -> int:

@@ -4,6 +4,13 @@ Not part of the paper's evaluation, but a standard framework primitive
 (Gunrock/GraphBLAST both ship it) and a good stress of ``advance.vertices``
 (dense iterations over all vertices, no frontier shrinkage).  Implemented
 as synchronous power iteration with dangling-mass redistribution.
+
+As a plan: a custom ``should_run`` guard (residual vs tolerance — no
+frontier ever empties), a store-less ``vertices``-mode advance for the
+rank scatter, and a dense compute pass for the damping apply.  Under
+``fuse=True`` the scatter advance and the apply compute merge into one
+modeled kernel (the Host step computing the dangling mass between them
+is fusion-neutral).
 """
 
 from __future__ import annotations
@@ -13,8 +20,15 @@ from typing import Optional
 
 import numpy as np
 
+from repro.exec import (
+    AdvanceStep,
+    ComputeStep,
+    ExecContext,
+    HostStep,
+    Plan,
+    PlanExecutor,
+)
 from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier
-from repro.operators import advance, compute
 from repro.operators.advance import AdvanceConfig
 
 
@@ -39,6 +53,7 @@ def pagerank(
     config: Optional[AdvanceConfig] = None,
     layout: str = "bitmap",
     bits: Optional[int] = None,
+    fuse: bool = False,
 ) -> PageRankResult:
     """Power-iteration PageRank over the device CSR graph.
 
@@ -63,37 +78,61 @@ def pagerank(
     )
     all_frontier.insert(np.arange(n, dtype=np.int64))
 
-    residual = np.inf
-    it = 0
-    with queue.span("pagerank"):
-        while it < max_iterations and residual > tol:
-            with queue.span("pagerank.iter", it):
-                nxt[:] = 0.0
+    def zero_next(ctx):
+        nxt[:] = 0.0
 
-                def scatter(src, dst, eid, w):
-                    np.add.at(nxt, dst, ranks[src] * inv_deg[src])
-                    return np.zeros(src.size, dtype=bool)
+    def scatter(src, dst, eid, w):
+        np.add.at(nxt, dst, ranks[src] * inv_deg[src])
+        return np.zeros(src.size, dtype=bool)
 
-                advance.vertices(graph, None, scatter, config).wait()
+    def dangling_base(ctx):
+        dangling_mass = float(ranks[dangling].sum())
+        ctx.state["base"] = (1.0 - damping) / n + damping * dangling_mass / n
 
-                dangling_mass = float(ranks[dangling].sum())
-                base = (1.0 - damping) / n + damping * dangling_mass / n
+    def apply_factory(ctx):
+        base = ctx.state["base"]
 
-                def apply(ids):
-                    nxt[ids] = base + damping * nxt[ids]
+        def apply(ids):
+            nxt[ids] = base + damping * nxt[ids]
 
-                compute.execute(graph, all_frontier, apply).wait()
+        return apply
 
-                residual = float(np.abs(np.asarray(nxt) - np.asarray(ranks)).sum())
-                tr = queue.tracer
-                if tr is not None:
-                    tr.sample_frontier(all_frontier)
-                    tr.gauge("pagerank.residual", residual)
-                ranks[:] = nxt
-                it += 1
-                queue.memory.tick(f"pr.iter{it}")
+    def converge(ctx):
+        residual = float(np.abs(np.asarray(nxt) - np.asarray(ranks)).sum())
+        ctx.state["residual"] = residual
+        tr = ctx.queue.tracer
+        if tr is not None:
+            tr.sample_frontier(all_frontier)
+            tr.gauge("pagerank.residual", residual)
+        ranks[:] = nxt
+
+    plan = Plan(
+        name="pagerank",
+        iter_span="pagerank.iter",
+        auto_sample=False,  # sampled in converge, at the original point
+        should_run=lambda ctx: ctx.iteration < max_iterations
+        and ctx.state["residual"] > tol,
+        steps=[
+            HostStep(zero_next),
+            AdvanceStep(lambda ctx: scatter, mode="vertices", output=None),
+            HostStep(dangling_base),
+            ComputeStep(apply_factory, frontier="all"),
+            HostStep(converge),
+        ],
+        tick=lambda ctx: f"pr.iter{ctx.iteration}",
+    )
+    ctx = ExecContext(
+        queue,
+        graphs={"csr": graph},
+        frontiers={"all": all_frontier},
+        config=config,
+        state={"residual": np.inf},
+    )
+    PlanExecutor(queue, fuse=fuse).run(plan, ctx)
 
     result = np.asarray(ranks).copy()
     queue.free(ranks)
     queue.free(nxt)
-    return PageRankResult(ranks=result, iterations=it, residual=residual)
+    return PageRankResult(
+        ranks=result, iterations=ctx.iteration, residual=float(ctx.state["residual"])
+    )

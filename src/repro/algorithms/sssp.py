@@ -5,17 +5,33 @@ phase resembles the BFS, moving from one vertex to adjacent ones and
 updating distance values"; a vertex re-enters the frontier whenever its
 distance improved.  The paper notes it does **not** use Δ-stepping — we
 provide :func:`delta_stepping` as the optional extension for comparison.
+
+Both are expressed as execution plans (:mod:`repro.exec`): SSSP is the
+canonical advance/swap/clear fixpoint; Δ-stepping shows the IR's nested
+:class:`~repro.exec.LoopStep` (the light-edge fixpoint inside each
+bucket) and a custom ``should_run`` guard (bucket selection).
+:func:`relax_steps` is shared with the distributed SSSP plugin.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier, swap
-from repro.operators import advance
+from repro.exec import (
+    AdvanceStep,
+    ClearStep,
+    ExecContext,
+    HostStep,
+    LoopStep,
+    Plan,
+    PlanExecutor,
+    Step,
+    SwapClearStep,
+)
+from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier
 from repro.operators.advance import AdvanceConfig
 
 
@@ -37,7 +53,7 @@ class SSSPResult:
         return float(self.distances[v])
 
 
-def _relax_functor(dist, stats):
+def _relax_functor(dist, stats=None):
     """Advance functor performing edge relaxation with an atomic-min.
 
     Returns the mask of edges that improved their destination — those
@@ -45,17 +61,26 @@ def _relax_functor(dist, stats):
     vectorized equivalent of the CUDA ``atomicMin`` loop: unordered, but
     every thread's improvement lands.  Each improving edge increments
     ``stats["relaxations"]`` — counted *here*, where the edges are
-    visible, not from the (deduplicated) output frontier.
+    visible, not from the (deduplicated) output frontier.  ``stats`` is
+    optional: the distributed plugin relaxes without counting.
     """
 
     def functor(src, dst, eid, w):
         candidate = dist[src] + w.astype(np.float64)
         improved = candidate < dist[dst]
-        stats["relaxations"] += int(np.count_nonzero(improved))
+        if stats is not None:
+            stats["relaxations"] += int(np.count_nonzero(improved))
         np.minimum.at(dist, dst[improved], candidate[improved])
         return improved
 
     return functor
+
+
+def relax_steps(dist, stats=None) -> List[Step]:
+    """The Bellman-Ford relaxation advance as IR — shared verbatim by
+    :func:`sssp` and the distributed SSSP plugin."""
+    functor = _relax_functor(dist, stats)
+    return [AdvanceStep(lambda ctx: functor)]
 
 
 def sssp(
@@ -65,6 +90,7 @@ def sssp(
     config: Optional[AdvanceConfig] = None,
     max_iterations: Optional[int] = None,
     bits: Optional[int] = None,
+    fuse: bool = False,
 ) -> SSSPResult:
     """Bellman-Ford SSSP from ``source``.
 
@@ -85,30 +111,37 @@ def sssp(
     in_frontier.insert(source)
 
     stats = {"relaxations": 0}
-    iteration = 0
-    # Bellman-Ford terminates after at most |V| rounds on negative-free
-    # weights; the frontier usually empties far sooner.
-    limit = max_iterations if max_iterations is not None else n + 1
-    functor = _relax_functor(dist, stats)
-    with queue.span("sssp", source):
-        while not in_frontier.empty() and iteration < limit:
-            with queue.span("sssp.iter", iteration):
-                tr = queue.tracer
-                relaxed_before = stats["relaxations"]
-                if tr is not None:
-                    tr.sample_frontier(in_frontier)
-                advance.frontier(graph, in_frontier, out_frontier, functor, config).wait()
-                if tr is not None:
-                    tr.inc("sssp.relaxations", stats["relaxations"] - relaxed_before)
-                swap(in_frontier, out_frontier)
-                out_frontier.clear()
-                iteration += 1
-                queue.memory.tick(f"sssp.iter{iteration}")
+
+    def capture(ctx):
+        ctx.state["relaxed_before"] = stats["relaxations"]
+
+    def report(ctx):
+        tr = ctx.queue.tracer
+        if tr is not None:
+            tr.inc("sssp.relaxations", stats["relaxations"] - ctx.state["relaxed_before"])
+
+    plan = Plan(
+        name="sssp",
+        span_arg=source,
+        iter_span="sssp.iter",
+        steps=[HostStep(capture)] + relax_steps(dist, stats) + [HostStep(report), SwapClearStep()],
+        # Bellman-Ford terminates after at most |V| rounds on negative-free
+        # weights; the frontier usually empties far sooner.
+        limit=max_iterations if max_iterations is not None else n + 1,
+        tick=lambda ctx: f"sssp.iter{ctx.iteration}",
+    )
+    ctx = ExecContext(
+        queue,
+        graphs={"csr": graph},
+        frontiers={"in": in_frontier, "out": out_frontier},
+        config=config,
+    )
+    PlanExecutor(queue, fuse=fuse).run(plan, ctx)
 
     distances = np.asarray(dist).copy()
     queue.free(dist)
     return SSSPResult(
-        distances=distances, iterations=iteration, relaxations=stats["relaxations"]
+        distances=distances, iterations=ctx.iteration, relaxations=stats["relaxations"]
     )
 
 
@@ -119,6 +152,7 @@ def delta_stepping(
     layout: str = "2lb",
     config: Optional[AdvanceConfig] = None,
     bits: Optional[int] = None,
+    fuse: bool = False,
 ) -> SSSPResult:
     """Δ-stepping SSSP (Meyer & Sanders) — the optimization the paper's
     SSSP deliberately omits, provided as an extension.
@@ -149,61 +183,101 @@ def delta_stepping(
     frontier = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
     scratch = make_frontier(queue, n, FrontierView.VERTEX, layout=layout, **kwargs)
 
-    iteration = 0
     stats = {"relaxations": 0}
-    bucket_idx = 0
     settled = np.zeros(n, dtype=bool)
-    with queue.span("delta_stepping", source):
+    light = _edge_class_functor(dist, delta, stats, light=True)
+    heavy = _edge_class_functor(dist, delta, stats, light=False)
+
+    def select_bucket(ctx):
+        """The plan guard doubles as bucket selection: skip to the next
+        non-empty bucket, settle its members, stop when none remain."""
+        st = ctx.state
         while True:
-            lo, hi = bucket_idx * delta, (bucket_idx + 1) * delta
+            lo, hi = st["bucket_idx"] * delta, (st["bucket_idx"] + 1) * delta
             in_bucket = (~settled) & (np.asarray(dist) >= lo) & (np.asarray(dist) < hi)
             if not in_bucket.any():
                 remaining = (~settled) & np.isfinite(np.asarray(dist))
                 if not remaining.any():
-                    break
-                bucket_idx = int(np.asarray(dist)[remaining].min() // delta)
+                    return False
+                st["bucket_idx"] = int(np.asarray(dist)[remaining].min() // delta)
                 continue
             members = np.nonzero(in_bucket)[0]
             settled[members] = True
+            st["members"], st["hi"] = members, hi
+            return True
 
-            with queue.span("delta_stepping.bucket", bucket_idx):
-                tr = queue.tracer
-                relaxed_before = stats["relaxations"]
-                # light-edge fixpoint inside the bucket: improved destinations that
-                # remain inside the bucket window are reprocessed until quiescence
-                frontier.clear()
-                frontier.insert(members)
-                if tr is not None:
-                    tr.sample_frontier(frontier)
-                light = _edge_class_functor(dist, delta, stats, light=True)
-                processed = [members]
-                while not frontier.empty():
-                    scratch.clear()
-                    advance.frontier(graph, frontier, scratch, light, config).wait()
-                    iteration += 1
-                    inside = scratch.active_elements()
-                    inside = inside[np.asarray(dist)[inside] < hi]
-                    settled[inside] = True
-                    processed.append(inside)
-                    frontier.clear()
-                    frontier.insert(inside)
+    def bucket_prologue(ctx):
+        st = ctx.state
+        st["relaxed_before"] = stats["relaxations"]
+        # light-edge fixpoint inside the bucket: improved destinations that
+        # remain inside the bucket window are reprocessed until quiescence
+        frontier.clear()
+        frontier.insert(st["members"])
+        tr = ctx.queue.tracer
+        if tr is not None:
+            tr.sample_frontier(frontier)
+        st["processed"] = [st["members"]]
 
-                # heavy edges of every vertex removed from this bucket, once
-                frontier.clear()
-                frontier.insert(np.unique(np.concatenate(processed)))
-                heavy = _edge_class_functor(dist, delta, stats, light=False)
-                scratch.clear()
-                advance.frontier(graph, frontier, scratch, heavy, config).wait()
-                iteration += 1
-                if tr is not None:
-                    tr.inc("sssp.relaxations", stats["relaxations"] - relaxed_before)
-                bucket_idx += 1
-                queue.memory.tick(f"dstep.bucket{bucket_idx}")
+    def light_epilogue(ctx):
+        st = ctx.state
+        st["advances"] += 1
+        inside = scratch.active_elements()
+        inside = inside[np.asarray(dist)[inside] < st["hi"]]
+        settled[inside] = True
+        st["processed"].append(inside)
+        frontier.clear()
+        frontier.insert(inside)
+
+    def heavy_setup(ctx):
+        # heavy edges of every vertex removed from this bucket, once
+        frontier.clear()
+        frontier.insert(np.unique(np.concatenate(ctx.state["processed"])))
+        scratch.clear()
+
+    def heavy_epilogue(ctx):
+        st = ctx.state
+        st["advances"] += 1
+        tr = ctx.queue.tracer
+        if tr is not None:
+            tr.inc("sssp.relaxations", stats["relaxations"] - st["relaxed_before"])
+        st["bucket_idx"] += 1
+
+    plan = Plan(
+        name="delta_stepping",
+        span_arg=source,
+        iter_span="delta_stepping.bucket",
+        iter_arg=lambda ctx: ctx.state["bucket_idx"],
+        auto_sample=False,  # sampled from bucket_prologue, post-insert
+        should_run=select_bucket,
+        steps=[
+            HostStep(bucket_prologue),
+            LoopStep(
+                body=[
+                    ClearStep("scratch"),
+                    AdvanceStep(lambda ctx: light, output="scratch"),
+                    HostStep(light_epilogue),
+                ],
+                until=lambda ctx: frontier.empty(),
+            ),
+            HostStep(heavy_setup),
+            AdvanceStep(lambda ctx: heavy, output="scratch"),
+            HostStep(heavy_epilogue),
+        ],
+        tick=lambda ctx: f"dstep.bucket{ctx.state['bucket_idx']}",
+    )
+    ctx = ExecContext(
+        queue,
+        graphs={"csr": graph},
+        frontiers={"in": frontier, "scratch": scratch},
+        config=config,
+        state={"bucket_idx": 0, "advances": 0},
+    )
+    PlanExecutor(queue, fuse=fuse).run(plan, ctx)
 
     distances = np.asarray(dist).copy()
     queue.free(dist)
     return SSSPResult(
-        distances=distances, iterations=iteration, relaxations=stats["relaxations"]
+        distances=distances, iterations=ctx.state["advances"], relaxations=stats["relaxations"]
     )
 
 

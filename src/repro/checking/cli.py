@@ -52,6 +52,11 @@ def add_check_arguments(parser) -> None:
              "comma-separated (bare flag = 1,2,4)",
     )
     group.add_argument(
+        "--fused", action="store_true",
+        help="double the matrix along the executor's kernel-fusion axis "
+             "(every cell runs fuse=off and fuse=on; results must be bit-equal)",
+    )
+    group.add_argument(
         "--verbose", action="store_true", help="print each configuration as it runs"
     )
 
@@ -128,6 +133,7 @@ def run_check(args) -> int:
         seed=args.seed,
         scale="full" if args.full else "quick",
         distributed=distributed,
+        fused=args.fused,
         progress=print if args.verbose else None,
     )
     print(report.summary())

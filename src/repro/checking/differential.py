@@ -56,10 +56,12 @@ class RunConfig:
     layout: str
     backend: str
     bits: Optional[int] = None  # None = device inspector's choice
+    fused: bool = False  # run through the executor's fusion pass
 
     def describe(self) -> str:
         width = f"/{self.bits}b" if self.bits else ""
-        return f"{self.algorithm}[{self.layout}{width}@{self.backend}]"
+        tail = "+fused" if self.fused else ""
+        return f"{self.algorithm}[{self.layout}{width}@{self.backend}{tail}]"
 
 
 @dataclass
@@ -111,6 +113,8 @@ class DifferentialReport:
     strict: bool = False
     #: device counts swept by the distributed (repro.dist) mode, if any
     distributed: List[int] = field(default_factory=list)
+    #: whether the fusion on/off axis was swept
+    fused: bool = False
 
     @property
     def ok(self) -> bool:
@@ -119,7 +123,8 @@ class DifferentialReport:
     def summary(self, max_findings: int = 10) -> str:
         lines = [
             f"differential check: {self.n_runs} runs, {self.n_comparisons} comparisons"
-            + (" [strict mode]" if self.strict else ""),
+            + (" [strict mode]" if self.strict else "")
+            + (" [fusion axis]" if self.fused else ""),
             f"  algorithms: {' '.join(self.algorithms)}",
             f"  layouts:    {' '.join(self.layouts)}",
             f"  backends:   {' '.join(self.backends)}",
@@ -184,21 +189,25 @@ def _run_framework(
 
     s = case.source
     if cfg.algorithm == "bfs":
-        return bfs(csr, s, layout=cfg.layout, bits=cfg.bits).distances
+        return bfs(csr, s, layout=cfg.layout, bits=cfg.bits, fuse=cfg.fused).distances
     if cfg.algorithm == "dobfs":
         return direction_optimizing_bfs(
-            csr, csc, s, layout=cfg.layout, bits=cfg.bits
+            csr, csc, s, layout=cfg.layout, bits=cfg.bits, fuse=cfg.fused
         ).distances
     if cfg.algorithm == "sssp":
-        return sssp(csr, s, layout=cfg.layout, bits=cfg.bits).distances
+        return sssp(csr, s, layout=cfg.layout, bits=cfg.bits, fuse=cfg.fused).distances
     if cfg.algorithm == "delta_stepping":
-        return delta_stepping(csr, s, layout=cfg.layout, bits=cfg.bits).distances
+        return delta_stepping(
+            csr, s, layout=cfg.layout, bits=cfg.bits, fuse=cfg.fused
+        ).distances
     if cfg.algorithm == "cc":
-        return _canonical_labels(cc(csr_undirected, layout=cfg.layout, bits=cfg.bits).labels)
+        return _canonical_labels(
+            cc(csr_undirected, layout=cfg.layout, bits=cfg.bits, fuse=cfg.fused).labels
+        )
     if cfg.algorithm == "bc":
-        return bc(csr, sources=[s], layout=cfg.layout, bits=cfg.bits).scores
+        return bc(csr, sources=[s], layout=cfg.layout, bits=cfg.bits, fuse=cfg.fused).scores
     if cfg.algorithm == "pagerank":
-        return pagerank(csr, layout=cfg.layout, bits=cfg.bits).ranks
+        return pagerank(csr, layout=cfg.layout, bits=cfg.bits, fuse=cfg.fused).ranks
     raise ValueError(f"unknown algorithm {cfg.algorithm!r}")
 
 
@@ -326,6 +335,7 @@ def run_differential(
     seed: int = 0,
     scale: str = "quick",
     distributed: Sequence[int] = (),
+    fused: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> DifferentialReport:
     """Sweep the full matrix and diff everything against everything.
@@ -344,6 +354,12 @@ def run_differential(
     ``strict=True`` wraps every run in
     :func:`repro.checking.invariants.strict_mode`, so frontier invariants
     and memory guards are validated after every kernel of every run.
+
+    ``fused=True`` doubles the matrix along the executor's fusion axis:
+    every (layout, backend, width) cell runs once with ``fuse=False``
+    and once with ``fuse=True``, and both must match the oracle and the
+    case's first (unfused) run bit-for-bit — the executable form of the
+    fusion pass's "same results, different kernel stream" contract.
     """
     if cases is None:
         cases = graphgen.adversarial_suite(seed=seed, scale=scale)
@@ -354,7 +370,9 @@ def run_differential(
         cases=[c.name for c in cases],
         strict=strict,
         distributed=list(distributed),
+        fused=fused,
     )
+    fuse_axis = (False, True) if fused else (False,)
 
     for case in cases:
         oracle_cache: Dict[str, np.ndarray] = {}
@@ -374,8 +392,10 @@ def run_differential(
                     oracle_cache[algorithm] = _oracle_result(case, algorithm)
                 want = oracle_cache[algorithm]
                 for layout in layouts:
-                    for bits in _widths_for(layout, widths):
-                        cfg = RunConfig(algorithm, layout, backend, bits)
+                    for bits, fuse_flag in (
+                        (b, f) for b in _widths_for(layout, widths) for f in fuse_axis
+                    ):
+                        cfg = RunConfig(algorithm, layout, backend, bits, fused=fuse_flag)
                         if progress:
                             progress(f"{case.name}: {cfg.describe()}")
                         try:

@@ -28,10 +28,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.algorithms.bfs import level_steps
+from repro.algorithms.cc import propagate_steps
+from repro.algorithms.sssp import relax_steps
 from repro.dist.bsp import BSPAlgorithm, DistributedResult, run_bsp
 from repro.dist.partition import Partition, owner_of
 from repro.graph.coo import COOGraph
-from repro.operators import compute
 from repro.sycl.device import Device
 
 #: BFS depth sentinel (matches repro.algorithms.bfs.UNSEEN)
@@ -90,13 +92,12 @@ class _BFSPlugin(BSPAlgorithm):
         owner = int(owner_of(parts, np.array([source]))[0])
         frontiers[owner].insert(source)
 
-    def functor(self, state):
-        return lambda src, dst, eid, w: state[dst] == UNSEEN
-
-    def post_advance(self, graph, out_frontier, state, depth):
-        # stamp locally-discovered vertices (owned AND ghost: a stamped
-        # ghost is never re-proposed by this device)
-        compute.execute(graph, out_frontier, lambda ids: state.__setitem__(ids, depth)).wait()
+    def device_steps(self, state):
+        # the single-device level kernel pair, verbatim: advance over
+        # unseen destinations, then stamp locally-discovered vertices
+        # (owned AND ghost: a stamped ghost is never re-proposed by this
+        # device) with depth = superstep + 1
+        return level_steps(state)
 
     def apply(self, state, vertices, values, depth):
         u = np.unique(vertices)
@@ -145,14 +146,10 @@ class _SSSPPlugin(BSPAlgorithm):
         owner = int(owner_of(parts, np.array([source]))[0])
         frontiers[owner].insert(source)
 
-    def functor(self, state):
-        def relax(src, dst, eid, w):
-            candidate = state[src] + w.astype(np.float64)
-            improved = candidate < state[dst]
-            np.minimum.at(state, dst[improved], candidate[improved])
-            return improved
-
-        return relax
+    def device_steps(self, state):
+        # the single-device Bellman-Ford relaxation advance, verbatim
+        # (stats=None: the engine's accounting replaces the counter)
+        return relax_steps(state)
 
     def message_values(self, state, vertices):
         return state[vertices]
@@ -206,13 +203,9 @@ class _CCPlugin(BSPAlgorithm):
             if part.n_owned:
                 frontier.insert(np.arange(part.vertex_lo, part.vertex_hi, dtype=np.int64))
 
-    def functor(self, state):
-        def propagate(src, dst, eid, w):
-            improved = state[src] < state[dst]
-            np.minimum.at(state, dst[improved], state[src][improved])
-            return improved
-
-        return propagate
+    def device_steps(self, state):
+        # the single-device min-label propagation advance, verbatim
+        return propagate_steps(state)
 
     def message_values(self, state, vertices):
         return state[vertices]

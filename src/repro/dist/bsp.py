@@ -36,10 +36,10 @@ import numpy as np
 from repro.dist.partition import Partition, partition_bounds, partition_static
 from repro.errors import ExchangeFault
 from repro.dist.wire import GhostMessage, decode_ghost_message, encode_ghost_message
+from repro.exec import AdvanceStep, ExecContext, HostStep, PlanExecutor, Step
 from repro.frontier import FrontierView, layout_bits_kwargs, make_frontier
 from repro.graph.builder import GraphBuilder
 from repro.graph.coo import COOGraph
-from repro.operators import advance
 from repro.perfmodel.interconnect import profile_for_devices
 from repro.sycl.device import Device
 from repro.sycl.queue import Queue
@@ -74,6 +74,26 @@ class BSPAlgorithm:
 
     def post_advance(self, graph, out_frontier, state: np.ndarray, depth: int) -> None:
         """Per-device hook after the advance (BFS stamps depths here)."""
+
+    def device_steps(self, state: np.ndarray) -> List[Step]:
+        """The per-device superstep body as execution-plan IR.
+
+        The engine runs these steps through the shared
+        :class:`~repro.exec.PlanExecutor` with ``ctx.iteration`` set to
+        the superstep index, so plugins can reuse the *same* step
+        builders as their single-device counterparts
+        (``bfs.level_steps`` / ``sssp.relax_steps`` /
+        ``cc.propagate_steps``).  Default: one advance built from
+        :meth:`functor`, then :meth:`post_advance` as a host step.
+        """
+        return [
+            AdvanceStep(lambda ctx: self.functor(state)),
+            HostStep(
+                lambda ctx: self.post_advance(
+                    ctx.graph("csr"), ctx.frontier("out"), state, ctx.iteration + 1
+                )
+            ),
+        ]
 
     def message_values(self, state: np.ndarray, vertices: np.ndarray) -> Optional[np.ndarray]:
         """Payload shipped with ghost ``vertices`` (None = ids only)."""
@@ -214,6 +234,7 @@ def run_bsp(
     fouts = [make_frontier(q, n, FrontierView.VERTEX, layout=layout, **kwargs) for q in queues]
     states = [algorithm.make_state(n) for _ in range(d)]
     algorithm.seed(parts, fins, states, source)
+    executors = [PlanExecutor(q) for q in queues]
 
     iteration = 0
     makespan = 0.0
@@ -248,8 +269,13 @@ def run_bsp(
                         "dist.superstep", iteration,
                         attrs={"part": i, "algorithm": algorithm.name},
                     ):
-                        advance.frontier(g, fin, fout, algorithm.functor(states[i])).wait()
-                        algorithm.post_advance(g, fout, states[i], depth)
+                        ctx = ExecContext(
+                            q,
+                            graphs={"csr": g},
+                            frontiers={"in": fin, "out": fout},
+                            iteration=iteration,
+                        )
+                        executors[i].run_steps(algorithm.device_steps(states[i]), ctx)
                     found.append(np.asarray(fout.active_elements(), dtype=np.int64).copy())
                 dev_ns.append(q.elapsed_ns - t0)
             barrier = max(dev_ns) if dev_ns else 0.0

@@ -84,3 +84,7 @@ class DeviceLostError(FaultInjected, DeviceError):
 class ExchangeFault(FaultInjected):
     """Ghost-exchange fault the BSP engine could not recover from
     (the ``exchange`` site kept firing past the superstep bound)."""
+
+
+class PlanError(SYgraphError):
+    """Malformed execution plan (unknown step kind, missing loop guard)."""

@@ -1,0 +1,55 @@
+"""repro.exec — the unified execution-plan layer.
+
+Algorithms describe their iteration structure as a :class:`Plan` of
+:class:`Step` descriptors; the :class:`PlanExecutor` runs it to
+fixpoint.  One driver for all seven single-device algorithms *and* the
+per-device work of :mod:`repro.dist.bsp`, and the attachment point for
+spans, metrics, fault sites, strict-mode checks and the opt-in
+advance+compute/filter kernel fusion (see :doc:`docs/pipeline`).
+"""
+
+# Initialize repro.frontier (and through it perfmodel/sycl/obs) before
+# the executor pulls in repro.perfmodel directly: the long-standing
+# perfmodel -> sycl -> obs -> frontier -> perfmodel import cycle only
+# resolves when entered from the frontier side; entering it from the
+# perfmodel side leaves repro.perfmodel.cost partially initialized.
+import repro.frontier  # noqa: F401  (import-order guard)
+
+from repro.exec.executor import PlanExecutor
+from repro.exec.fusion import PendingKernel, fuse_workloads
+from repro.exec.plan import (
+    AdvanceStep,
+    ClearStep,
+    ComputeStep,
+    ExecContext,
+    FilterStep,
+    HostStep,
+    IfStep,
+    LoopStep,
+    Plan,
+    SET_OPS,
+    SetOpStep,
+    SpanStep,
+    Step,
+    SwapClearStep,
+)
+
+__all__ = [
+    "AdvanceStep",
+    "ClearStep",
+    "ComputeStep",
+    "ExecContext",
+    "FilterStep",
+    "HostStep",
+    "IfStep",
+    "LoopStep",
+    "Plan",
+    "PlanExecutor",
+    "PendingKernel",
+    "SET_OPS",
+    "SetOpStep",
+    "SpanStep",
+    "Step",
+    "SwapClearStep",
+    "fuse_workloads",
+]

@@ -4,6 +4,8 @@ modeled interconnect, 2LB-compressed ghost exchange).  Import from
 :mod:`repro.dist` in new code.
 """
 
+import warnings
+
 from repro.dist.algorithms import (  # noqa: F401
     DistributedBFSResult,
     DistributedCCResult,
@@ -11,6 +13,12 @@ from repro.dist.algorithms import (  # noqa: F401
     distributed_bfs,
     distributed_cc,
     distributed_sssp,
+)
+
+warnings.warn(
+    "repro.graph.distributed is deprecated; import from repro.dist instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = [

@@ -3,12 +3,20 @@
 the ``repro.dist`` subsystem.  Import from :mod:`repro.dist` in new code.
 """
 
+import warnings
+
 from repro.dist.partition import (  # noqa: F401
     Partition,
     edge_balance,
     owner_of,
     partition_bounds,
     partition_static,
+)
+
+warnings.warn(
+    "repro.graph.partition is deprecated; import from repro.dist instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["Partition", "partition_static", "partition_bounds", "owner_of", "edge_balance"]

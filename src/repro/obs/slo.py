@@ -21,7 +21,14 @@ either way (CI uploads it as the PR's benchmark artifact):
   present, its hot case's BSP makespan and ghost-exchange wire bytes are
   recomputed and diffed the same way (deterministic, 0% default budget).
   Missing baselines skip the check, keeping the gate non-blocking for
-  trees that never ran the distributed benchmark.
+  trees that never ran the distributed benchmark;
+* **fusion drift** — when a ``--fused-baseline`` (``BENCH_pr10.json``,
+  from ``benchmarks/trajectory.py --fused``) is present, the fused
+  modeled ns of its hot cases (BFS and CC on the 2lb layout) is
+  recomputed and diffed against the baseline.  Fusion is a deterministic
+  rewrite of the kernel stream, so the default budget is again 0%: any
+  movement means the fusion pass or the cost model changed.  Absent
+  baselines skip the check.
 
 The gate runs the serving simulation itself (smoke preset, histograms
 on) unless ``--report`` points at a ``serve-sim --report`` JSON to
@@ -55,6 +62,9 @@ class SLOThresholds:
     #: distributed hot-case movement (worst of BSP makespan ns and
     #: ghost-exchange wire bytes) vs the --dist-baseline, percent
     max_dist_drift_pct: float = 0.0
+    #: fused hot-case modeled-ns movement (worst over the baseline's hot
+    #: cases) vs the --fused-baseline, percent
+    max_fused_drift_pct: float = 0.0
     #: chaos-matrix corruption events allowed (result-digest divergences
     #: plus spot-check failures across every scenario of a
     #: ``chaos --report`` JSON).  Degradation under faults is fine;
@@ -109,6 +119,14 @@ def evaluate_slo(summary: dict, thresholds: SLOThresholds) -> List[str]:
             f"baseline (allowed ±{thresholds.max_dist_drift_pct:.4f}%)"
         )
     if (
+        "fused_drift_pct" in summary
+        and abs(summary["fused_drift_pct"]) > thresholds.max_fused_drift_pct
+    ):
+        v.append(
+            f"fused hot case drifted {summary['fused_drift_pct']:+.4f}% vs "
+            f"baseline (allowed ±{thresholds.max_fused_drift_pct:.4f}%)"
+        )
+    if (
         "chaos_divergences" in summary
         and summary["chaos_divergences"] > thresholds.max_chaos_divergences
     ):
@@ -137,6 +155,16 @@ def add_slo_arguments(parser) -> None:
     group.add_argument(
         "--max-dist-drift-pct", type=float, default=None,
         help="allowed distributed makespan/wire-bytes drift, percent (default 0)",
+    )
+    group.add_argument(
+        "--fused-baseline", default="BENCH_pr10.json", metavar="PATH",
+        help="fusion trajectory baseline (from `trajectory.py --fused`); "
+        "the fusion drift check is skipped when the file is absent "
+        "(default BENCH_pr10.json)",
+    )
+    group.add_argument(
+        "--max-fused-drift-pct", type=float, default=None,
+        help="allowed fused hot-case modeled-ns drift, percent (default 0)",
     )
     group.add_argument(
         "--slo-report", default=None, metavar="PATH",
@@ -186,6 +214,7 @@ def _thresholds_from_args(args) -> SLOThresholds:
         ("max_failed", "max_failed"),
         ("max_drift_pct", "max_modeled_drift_pct"),
         ("max_dist_drift_pct", "max_dist_drift_pct"),
+        ("max_fused_drift_pct", "max_fused_drift_pct"),
         ("max_chaos_divergences", "max_chaos_divergences"),
     ):
         val = getattr(args, flag, None)
@@ -341,6 +370,64 @@ def _dist_drift_summary(baseline_path: str) -> dict:
     }
 
 
+def _fused_drift_summary(baseline_path: str) -> dict:
+    """Recompute the fused hot cases and diff their modeled ns.
+
+    Fusion rewrites the kernel stream deterministically, so the fused
+    modeled time of a fixed (algorithm, layout, graph) cell is a pure
+    function of the fusion pass and the cost model — any movement means
+    one of them changed.  The reported ``fused_drift_pct`` is the worst
+    case over the baseline's hot entries.
+    """
+    from repro.algorithms.bfs import bfs
+    from repro.algorithms.cc import cc
+    from repro.checking import graphgen
+    from repro.graph.builder import GraphBuilder
+    from repro.graph.coo import COOGraph
+    from repro.sycl.device import get_device
+    from repro.sycl.queue import Queue
+
+    import numpy as np
+
+    base = json.loads(Path(baseline_path).read_text())
+    quick = base.get("mode") == "quick"
+    seed = base.get("seed", 7)
+    device = base.get("device", "v100s")
+    cases = {}
+    worst = 0.0
+    for hot in base.get("hot", {}).values():
+        case = hot.get("case", "")
+        algorithm, layout, graph_name = case.split("/")
+        if graph_name == "chain":
+            n = 2000 if quick else 5000
+            src = np.arange(n - 1, dtype=np.int64)
+            coo = COOGraph(n, np.concatenate([src, src + 1]), np.concatenate([src + 1, src]))
+        else:
+            n = 1500 if quick else 4000
+            coo = graphgen.power_law(n=n, avg_degree=6.0, seed=seed)
+        q = Queue(get_device(device), enable_profiling=True, capacity_limit=0)
+        builder = GraphBuilder(q)
+        if algorithm == "cc":
+            graph = builder.to_csr(coo.symmetrized())
+            q.reset_profile()
+            cc(graph, layout=layout, fuse=True)
+        else:
+            graph = builder.to_csr(coo)
+            q.reset_profile()
+            bfs(graph, 0, layout=layout, fuse=True)
+        now_ns = int(q.elapsed_ns)
+        base_ns = int(hot.get("modeled_ns_fused", 0))
+        drift = 100.0 * (now_ns - base_ns) / base_ns if base_ns else 0.0
+        cases[case] = {"baseline_ns": base_ns, "modeled_ns": now_ns, "drift_pct": drift}
+        if abs(drift) > abs(worst):
+            worst = drift
+    return {
+        "fused_baseline": baseline_path,
+        "fused_cases": cases,
+        "fused_drift_pct": worst,
+    }
+
+
 def _chaos_summary(path: str) -> dict:
     """Corruption totals from a ``chaos --report`` JSON.
 
@@ -386,6 +473,14 @@ def run_slo(args) -> int:
                 f"[slo] dist baseline {dist_baseline} not found; "
                 "skipping distributed drift check"
             )
+        fused_baseline = getattr(args, "fused_baseline", "BENCH_pr10.json")
+        if fused_baseline and Path(fused_baseline).exists():
+            summary.update(_fused_drift_summary(fused_baseline))
+        else:
+            print(
+                f"[slo] fused baseline {fused_baseline} not found; "
+                "skipping fusion drift check"
+            )
 
     chaos_path = getattr(args, "chaos_report", None)
     if chaos_path:
@@ -429,6 +524,14 @@ def run_slo(args) -> int:
                 f"dist drift ({summary['dist_case']})",
                 f"{summary['dist_drift_pct']:+.4f}%",
                 f"within ±{thresholds.max_dist_drift_pct:g}%",
+            )
+        )
+    if "fused_drift_pct" in summary:
+        checked.append(
+            (
+                f"fusion drift ({len(summary['fused_cases'])} hot cases)",
+                f"{summary['fused_drift_pct']:+.4f}%",
+                f"within ±{thresholds.max_fused_drift_pct:g}%",
             )
         )
     if "chaos_divergences" in summary:

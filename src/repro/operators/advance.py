@@ -98,54 +98,101 @@ def _advance_from(
     kernel: str,
 ) -> Event:
     queue = graph.queue
+    with queue.span(kernel):
+        wl = _advance_workload(
+            graph, explicit_vertices, in_frontier, out_frontier, functor, config, kernel
+        )
+        return queue.submit(wl)
+
+
+def _advance_workload(
+    graph,
+    explicit_vertices: Optional[np.ndarray],
+    in_frontier: Optional[Frontier],
+    out_frontier: Optional[Frontier],
+    functor,
+    config: Optional[AdvanceConfig],
+    kernel: str,
+) -> KernelWorkload:
+    """The advance's NumPy effect + characterized workload, **no submit**.
+
+    This is the seam the execution layer's fusion pass uses
+    (:mod:`repro.exec.fusion`): the effect and the workload description
+    happen here, identically to the submitting path; whether the
+    workload is submitted standalone (:func:`frontier` / :func:`vertices`)
+    or merged into a fused kernel is the caller's choice.  2LB/MLB
+    offsets pre-pass kernels are still submitted from
+    :func:`_scan_frontier` — they are a separate launch either way.
+    """
+    queue = graph.queue
     config = config or AdvanceConfig()
     params = config.params or queue.inspect()
 
-    with queue.span(kernel):
-        # ---- stage 0: identify active vertices (+ frontier-scan accounting)
-        if explicit_vertices is not None:
-            active = explicit_vertices
-            scan_words = -(-max(1, graph.get_vertex_count()) // params.bitmap_bits)
-            scan_position = active // params.bitmap_bits
-        else:
-            active, scan_words, scan_position = _scan_frontier(queue, in_frontier, params, kernel)
+    # ---- stage 0: identify active vertices (+ frontier-scan accounting)
+    if explicit_vertices is not None:
+        active = explicit_vertices
+        scan_words = -(-max(1, graph.get_vertex_count()) // params.bitmap_bits)
+        scan_position = active // params.bitmap_bits
+    else:
+        active, scan_words, scan_position = _scan_frontier(queue, in_frontier, params, kernel)
 
-        # ---- stages 1-2: neighbor expansion + functor
-        src, dst, eid, w = graph.gather_neighbors(active)
-        if src.size:
-            mask = as_mask(functor(src, dst, eid, w), src.size, "advance")
-            accepted = dst[mask]
-        else:
-            accepted = np.empty(0, dtype=np.int64)
+    # ---- stages 1-2: neighbor expansion + functor
+    src, dst, eid, w = graph.gather_neighbors(active)
+    if src.size:
+        mask = as_mask(functor(src, dst, eid, w), src.size, "advance")
+        accepted = dst[mask]
+    else:
+        accepted = np.empty(0, dtype=np.int64)
 
-        # ---- stage 3: output frontier insertion (bitmap OR / vector append)
-        if out_frontier is not None and accepted.size:
-            out_frontier.insert(accepted)
+    # ---- stage 3: output frontier insertion (bitmap OR / vector append)
+    if out_frontier is not None and accepted.size:
+        out_frontier.insert(accepted)
 
-        # ---- cost accounting (skipped when the queue never consumes it)
-        if not queue.enable_profiling:
-            return queue.submit(null_workload(kernel))
-        degrees = graph.out_degrees(active) if active.size else np.empty(0, np.int64)
-        spec = queue.device.spec
-        persistent_cap = spec.compute_units * spec.max_workgroups_per_cu
-        shape = characterize_bitmap_advance(
-            params, scan_words, active, degrees, scan_position, max_workgroups=persistent_cap
+    # ---- cost accounting (skipped when the queue never consumes it)
+    if not queue.enable_profiling:
+        return null_workload(kernel)
+    degrees = graph.out_degrees(active) if active.size else np.empty(0, np.int64)
+    spec = queue.device.spec
+    persistent_cap = spec.compute_units * spec.max_workgroups_per_cu
+    shape = characterize_bitmap_advance(
+        params, scan_words, active, degrees, scan_position, max_workgroups=persistent_cap
+    )
+    serial_ops = shape.serial_ops
+    if isinstance(in_frontier, VectorFrontier):
+        # vector frontiers need merge-path/prefix-sum partitioning to map
+        # edges onto lanes (the bitmap gets this for free from word order)
+        serial_ops *= 1.3
+    wl = KernelWorkload(
+        name=kernel,
+        geometry=shape.geometry,
+        active_lanes=shape.active_lanes,
+        instructions_per_lane=shape.instructions_per_lane,
+        serial_ops=serial_ops,
+        engaged_subgroups=shape.engaged_subgroups,
+    )
+    _charge_memory(wl, graph, active, src, dst, eid, accepted, out_frontier, params, config, scan_words)
+    return wl
+
+
+def frontier_workload(
+    graph, in_frontier: Frontier, out_frontier, functor, config: Optional[AdvanceConfig] = None
+) -> KernelWorkload:
+    """:func:`frontier` minus the submit: effect now, workload returned."""
+    with graph.queue.span("advance.frontier"):
+        return _advance_workload(
+            graph, None, in_frontier, out_frontier, functor, config, "advance.frontier"
         )
-        serial_ops = shape.serial_ops
-        if isinstance(in_frontier, VectorFrontier):
-            # vector frontiers need merge-path/prefix-sum partitioning to map
-            # edges onto lanes (the bitmap gets this for free from word order)
-            serial_ops *= 1.3
-        wl = KernelWorkload(
-            name=kernel,
-            geometry=shape.geometry,
-            active_lanes=shape.active_lanes,
-            instructions_per_lane=shape.instructions_per_lane,
-            serial_ops=serial_ops,
-            engaged_subgroups=shape.engaged_subgroups,
+
+
+def vertices_workload(
+    graph, out_frontier, functor, config: Optional[AdvanceConfig] = None
+) -> KernelWorkload:
+    """:func:`vertices` minus the submit: effect now, workload returned."""
+    all_v = np.arange(graph.get_vertex_count(), dtype=np.int64)
+    with graph.queue.span("advance.vertices"):
+        return _advance_workload(
+            graph, all_v, None, out_frontier, functor, config, "advance.vertices"
         )
-        _charge_memory(wl, graph, active, src, dst, eid, accepted, out_frontier, params, config, scan_words)
-        return queue.submit(wl)
 
 
 def _scan_frontier(
@@ -356,55 +403,81 @@ def frontier_pull(
     placed parent).
     """
     queue = csc_graph.queue
+    with queue.span("advance.frontier.pull"):
+        wl = _pull_workload(csc_graph, in_frontier, out_frontier, functor, candidates, config)
+        return queue.submit(wl)
+
+
+def pull_workload(
+    csc_graph,
+    in_frontier: Frontier,
+    out_frontier: Optional[Frontier],
+    functor,
+    candidates: np.ndarray,
+    config: Optional[AdvanceConfig] = None,
+) -> KernelWorkload:
+    """:func:`frontier_pull` minus the submit (fusion seam)."""
+    with csc_graph.queue.span("advance.frontier.pull"):
+        return _pull_workload(csc_graph, in_frontier, out_frontier, functor, candidates, config)
+
+
+def _pull_workload(
+    csc_graph,
+    in_frontier: Frontier,
+    out_frontier: Optional[Frontier],
+    functor,
+    candidates: np.ndarray,
+    config: Optional[AdvanceConfig],
+) -> KernelWorkload:
+    queue = csc_graph.queue
     config = config or AdvanceConfig()
     params = config.params or queue.inspect()
     candidates = np.asarray(candidates, dtype=np.int64)
 
-    with queue.span("advance.frontier.pull"):
-        src, dst, eid, w = csc_graph.gather_in_neighbors(candidates)
-        if src.size:
-            parent_ok = in_frontier.contains(src)
-            mask = parent_ok & as_mask(functor(src, dst, eid, w), src.size, "advance")
-            accepted = np.unique(dst[mask])
-        else:
-            accepted = np.empty(0, dtype=np.int64)
-        if out_frontier is not None and accepted.size:
-            out_frontier.insert(accepted)
+    src, dst, eid, w = csc_graph.gather_in_neighbors(candidates)
+    if src.size:
+        parent_ok = in_frontier.contains(src)
+        mask = parent_ok & as_mask(functor(src, dst, eid, w), src.size, "advance")
+        accepted = np.unique(dst[mask])
+    else:
+        accepted = np.empty(0, dtype=np.int64)
+    if out_frontier is not None and accepted.size:
+        out_frontier.insert(accepted)
 
-        if not queue.enable_profiling:
-            return queue.submit(null_workload("advance.frontier.pull"))
-        degrees = csc_graph.in_degrees(candidates) if candidates.size else np.empty(0, np.int64)
-        shape = characterize_bitmap_advance(
-            params,
-            -(-max(1, candidates.size) // params.bitmap_bits),
-            candidates,
-            degrees // 2,  # early exit: expected half scan
-            np.arange(candidates.size) // params.bitmap_bits,
+    if not queue.enable_profiling:
+        return null_workload("advance.frontier.pull")
+    degrees = csc_graph.in_degrees(candidates) if candidates.size else np.empty(0, np.int64)
+    shape = characterize_bitmap_advance(
+        params,
+        -(-max(1, candidates.size) // params.bitmap_bits),
+        candidates,
+        degrees // 2,  # early exit: expected half scan
+        np.arange(candidates.size) // params.bitmap_bits,
+    )
+    wl = KernelWorkload(
+        name="advance.frontier.pull",
+        geometry=shape.geometry,
+        active_lanes=shape.active_lanes,
+        instructions_per_lane=shape.instructions_per_lane,
+        serial_ops=shape.serial_ops,
+        engaged_subgroups=shape.engaged_subgroups,
+    )
+    half = slice(None, None, 2)
+    if candidates.size:
+        wl.add_stream(candidates, 4, REGION_ROW_PTR, label="col_ptr")
+    if eid.size:
+        wl.add_stream(eid[half], 4, REGION_COL_IDX, label="row_idx")
+        # membership probes against the input frontier's actual layout
+        charge_frontier_probe(wl, in_frontier, src[half], REGION_FRONTIER_IN, "in.probe")
+    if out_frontier is not None and accepted.size and hasattr(out_frontier, "bits"):
+        words = accepted // out_frontier.bits
+        wl.add_stream(
+            words,
+            out_frontier.words.dtype.itemsize,
+            REGION_FRONTIER_OUT,
+            is_write=True,
+            label="out.bitmap",
         )
-        wl = KernelWorkload(
-            name="advance.frontier.pull",
-            geometry=shape.geometry,
-            active_lanes=shape.active_lanes,
-            instructions_per_lane=shape.instructions_per_lane,
-            serial_ops=shape.serial_ops,
-            engaged_subgroups=shape.engaged_subgroups,
-        )
-        half = slice(None, None, 2)
-        if candidates.size:
-            wl.add_stream(candidates, 4, REGION_ROW_PTR, label="col_ptr")
-        if eid.size:
-            wl.add_stream(eid[half], 4, REGION_COL_IDX, label="row_idx")
-            # membership probes against the input frontier's actual layout
-            charge_frontier_probe(wl, in_frontier, src[half], REGION_FRONTIER_IN, "in.probe")
-        if out_frontier is not None and accepted.size and hasattr(out_frontier, "bits"):
-            words = accepted // out_frontier.bits
-            wl.add_stream(
-                words,
-                out_frontier.words.dtype.itemsize,
-                REGION_FRONTIER_OUT,
-                is_write=True,
-                label="out.bitmap",
-            )
-            wl.atomics += int(accepted.size)
-            wl.atomic_targets += int(np.unique(words).size)
-        return queue.submit(wl)
+        wl.atomics += int(accepted.size)
+        wl.atomic_targets += int(np.unique(words).size)
+    return wl

@@ -18,6 +18,29 @@ from repro.sycl.event import Event
 from repro.sycl.ndrange import Range
 
 
+def _apply_and_characterize(
+    queue, name: str, ids: np.ndarray, functor, write_bytes: int, ipl: float
+) -> KernelWorkload:
+    """Apply ``functor(ids)`` and characterize the range launch (no submit)."""
+    if ids.size:
+        functor(ids)
+    if not queue.enable_profiling:
+        return null_workload(name)
+    spec = queue.device.spec
+    geom = Range(max(1, ids.size)).resolve(
+        spec.max_workgroup_size // 4, spec.preferred_subgroup_size
+    )
+    wl = KernelWorkload(
+        name=name,
+        geometry=geom,
+        active_lanes=int(ids.size),
+        instructions_per_lane=ipl,
+    )
+    if ids.size:
+        wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
+    return wl
+
+
 def execute(graph, frontier: Frontier, functor, write_bytes: int = 8) -> Event:
     """Apply ``functor(ids)`` to the frontier's active elements.
 
@@ -28,44 +51,36 @@ def execute(graph, frontier: Frontier, functor, write_bytes: int = 8) -> Event:
     queue = graph.queue
     with queue.span("compute.execute"):
         ids = frontier.active_elements()
-        if ids.size:
-            functor(ids)
+        return queue.submit(
+            _apply_and_characterize(queue, "compute.execute", ids, functor, write_bytes, 6.0)
+        )
 
-        if not queue.enable_profiling:
-            return queue.submit(null_workload("compute.execute"))
-        spec = queue.device.spec
-        geom = Range(max(1, ids.size)).resolve(
-            spec.max_workgroup_size // 4, spec.preferred_subgroup_size
-        )
-        wl = KernelWorkload(
-            name="compute.execute",
-            geometry=geom,
-            active_lanes=int(ids.size),
-            instructions_per_lane=6.0,
-        )
-        if ids.size:
-            wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
-        return queue.submit(wl)
+
+def execute_workload(graph, frontier: Frontier, functor, write_bytes: int = 8) -> KernelWorkload:
+    """:func:`execute` minus the submit (the fusion seam): the functor
+    runs now, the characterized workload is returned for the caller to
+    submit or merge into a fused kernel."""
+    queue = graph.queue
+    with queue.span("compute.execute"):
+        ids = frontier.active_elements()
+        return _apply_and_characterize(queue, "compute.execute", ids, functor, write_bytes, 6.0)
 
 
 def execute_all(graph, functor, write_bytes: int = 8) -> Event:
     """Apply ``functor`` to **every** vertex (initialization sweeps)."""
     queue = graph.queue
     with queue.span("compute.execute_all"):
-        n = graph.get_vertex_count()
-        ids = np.arange(n, dtype=np.int64)
-        if n:
-            functor(ids)
-        if not queue.enable_profiling:
-            return queue.submit(null_workload("compute.execute_all"))
-        spec = queue.device.spec
-        geom = Range(max(1, n)).resolve(spec.max_workgroup_size // 4, spec.preferred_subgroup_size)
-        wl = KernelWorkload(
-            name="compute.execute_all",
-            geometry=geom,
-            active_lanes=n,
-            instructions_per_lane=4.0,
+        ids = np.arange(graph.get_vertex_count(), dtype=np.int64)
+        return queue.submit(
+            _apply_and_characterize(queue, "compute.execute_all", ids, functor, write_bytes, 4.0)
         )
-        if n:
-            wl.add_stream(ids, write_bytes, REGION_USERDATA, is_write=True, label="compute.write")
-        return queue.submit(wl)
+
+
+def execute_all_workload(graph, functor, write_bytes: int = 8) -> KernelWorkload:
+    """:func:`execute_all` minus the submit (fusion seam)."""
+    queue = graph.queue
+    with queue.span("compute.execute_all"):
+        ids = np.arange(graph.get_vertex_count(), dtype=np.int64)
+        return _apply_and_characterize(
+            queue, "compute.execute_all", ids, functor, write_bytes, 4.0
+        )

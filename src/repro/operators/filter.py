@@ -62,12 +62,13 @@ def _charge_frontier_write(
         wl.atomic_targets += 1
 
 
-def _filter_kernel(
+def _filter_workload(
     queue, name: str, in_frontier: Frontier, ids: np.ndarray,
     out_frontier: Frontier, written: np.ndarray,
-) -> Event:
+) -> KernelWorkload:
+    """Characterize the filter's range launch (no submit — fusion seam)."""
     if not queue.enable_profiling:
-        return queue.submit(null_workload(name))
+        return null_workload(name)
     spec = queue.device.spec
     wg_size = spec.max_workgroup_size // 4
     geom = Range(max(1, ids.size)).resolve(wg_size, spec.preferred_subgroup_size)
@@ -81,22 +82,50 @@ def _filter_kernel(
         wl.add_stream(ids, 8, REGION_USERDATA, label="filter.read")
         charge_frontier_probe(wl, in_frontier, ids, REGION_FRONTIER_IN, "frontier.words")
     _charge_frontier_write(wl, out_frontier, written, wg_size)
-    return queue.submit(wl)
+    return wl
+
+
+def _inplace_effect(frontier: Frontier, functor):
+    ids = frontier.active_elements()
+    if ids.size:
+        keep = as_mask(functor(ids), ids.size, "filter")
+        dropped = ids[~keep]
+        if dropped.size:
+            frontier.remove(dropped)
+    else:
+        dropped = np.empty(0, dtype=np.int64)
+    return ids, dropped
+
+
+def _external_effect(in_frontier: Frontier, out_frontier: Frontier, functor):
+    ids = in_frontier.active_elements()
+    out_frontier.clear()
+    if ids.size:
+        keep = as_mask(functor(ids), ids.size, "filter")
+        passed = ids[keep]
+        if passed.size:
+            out_frontier.insert(passed)
+    else:
+        passed = np.empty(0, dtype=np.int64)
+    return ids, passed
 
 
 def inplace(graph, frontier: Frontier, functor) -> Event:
     """Remove elements for which ``functor(ids)`` is False (Table 2)."""
     queue = graph.queue
     with queue.span("filter.inplace"):
-        ids = frontier.active_elements()
-        if ids.size:
-            keep = as_mask(functor(ids), ids.size, "filter")
-            dropped = ids[~keep]
-            if dropped.size:
-                frontier.remove(dropped)
-        else:
-            dropped = np.empty(0, dtype=np.int64)
-        return _filter_kernel(queue, "filter.inplace", frontier, ids, frontier, dropped)
+        ids, dropped = _inplace_effect(frontier, functor)
+        return queue.submit(
+            _filter_workload(queue, "filter.inplace", frontier, ids, frontier, dropped)
+        )
+
+
+def inplace_workload(graph, frontier: Frontier, functor) -> KernelWorkload:
+    """:func:`inplace` minus the submit (fusion seam)."""
+    queue = graph.queue
+    with queue.span("filter.inplace"):
+        ids, dropped = _inplace_effect(frontier, functor)
+        return _filter_workload(queue, "filter.inplace", frontier, ids, frontier, dropped)
 
 
 def external(graph, in_frontier: Frontier, out_frontier: Frontier, functor) -> Event:
@@ -107,13 +136,17 @@ def external(graph, in_frontier: Frontier, out_frontier: Frontier, functor) -> E
     """
     queue = graph.queue
     with queue.span("filter.external"):
-        ids = in_frontier.active_elements()
-        out_frontier.clear()
-        if ids.size:
-            keep = as_mask(functor(ids), ids.size, "filter")
-            passed = ids[keep]
-            if passed.size:
-                out_frontier.insert(passed)
-        else:
-            passed = np.empty(0, dtype=np.int64)
-        return _filter_kernel(queue, "filter.external", in_frontier, ids, out_frontier, passed)
+        ids, passed = _external_effect(in_frontier, out_frontier, functor)
+        return queue.submit(
+            _filter_workload(queue, "filter.external", in_frontier, ids, out_frontier, passed)
+        )
+
+
+def external_workload(
+    graph, in_frontier: Frontier, out_frontier: Frontier, functor
+) -> KernelWorkload:
+    """:func:`external` minus the submit (fusion seam)."""
+    queue = graph.queue
+    with queue.span("filter.external"):
+        ids, passed = _external_effect(in_frontier, out_frontier, functor)
+        return _filter_workload(queue, "filter.external", in_frontier, ids, out_frontier, passed)

@@ -30,6 +30,22 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_docstring_usage_covers_every_subcommand(self):
+        import repro.__main__ as m
+
+        usage = m.__doc__
+        for sub in m.SUBCOMMANDS:
+            assert f"python -m repro {sub}" in usage, f"{sub} missing from usage block"
+
+    def test_help_epilog_lists_subcommands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        import repro.__main__ as m
+
+        for sub in m.SUBCOMMANDS:
+            assert sub in out
+
 
 class TestTraceCLI:
     def test_trace_bfs_writes_json(self, capsys, tmp_path, monkeypatch):

@@ -1,0 +1,95 @@
+"""Property test: fusion never changes results, only the modeled stream.
+
+Random small graphs through every algorithm × layout × word width, with
+``fuse=True`` vs ``fuse=False``: results, iteration counts and visit
+counts must be bit-identical — the executable form of the fusion pass's
+contract (same NumPy effect, different kernel stream).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.bc import bc
+from repro.algorithms.bfs import bfs, direction_optimizing_bfs
+from repro.algorithms.cc import cc
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import delta_stepping, sssp
+from repro.graph.builder import GraphBuilder
+from repro.graph.coo import COOGraph
+from repro.sycl import Queue
+
+N = 24  # crosses a 32-bit word boundary in the bitmap layouts
+
+#: (layout, bits) cells exercised by the property
+CONFIGS = [("2lb", 32), ("2lb", 64), ("bitmap", 32), ("vector", None), ("boolmap", None)]
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)),
+    min_size=0,
+    max_size=80,
+)
+
+
+def _coo(edges, weighted=False):
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    w = (np.arange(src.size) % 7 + 1).astype(np.float64) if weighted else None
+    return COOGraph(N, src, dst, w)
+
+
+def _pair(coo, fn, sym=False, needs_csc=False, **kw):
+    """Run ``fn`` unfused and fused on fresh queues; return both results."""
+    out = []
+    for fuse in (False, True):
+        q = Queue()
+        b = GraphBuilder(q)
+        g = b.to_csr(coo.symmetrized() if sym else coo)
+        if needs_csc:
+            out.append(fn(g, b.to_csc(coo), fuse=fuse, **kw))
+        else:
+            out.append(fn(g, fuse=fuse, **kw))
+    return out
+
+
+@settings(max_examples=20, deadline=None)
+@given(edges=edge_lists, cfg=st.sampled_from(CONFIGS), source=st.integers(0, N - 1))
+def test_traversals_fused_equals_unfused(edges, cfg, source):
+    layout, bits = cfg
+    coo = _coo(edges, weighted=True)
+
+    a, b = _pair(coo, bfs, source=source, layout=layout, bits=bits)
+    assert np.array_equal(a.distances, b.distances)
+    assert (a.iterations, a.visited) == (b.iterations, b.visited)
+
+    a, b = _pair(coo, direction_optimizing_bfs, needs_csc=True,
+                 source=source, layout=layout, bits=bits)
+    assert np.array_equal(a.distances, b.distances)
+    assert (a.iterations, a.visited) == (b.iterations, b.visited)
+
+    a, b = _pair(coo, sssp, source=source, layout=layout, bits=bits)
+    assert np.array_equal(a.distances, b.distances)
+    assert (a.iterations, a.relaxations) == (b.iterations, b.relaxations)
+
+    a, b = _pair(coo, delta_stepping, source=source, layout=layout, bits=bits)
+    assert np.array_equal(a.distances, b.distances)
+    assert (a.iterations, a.relaxations) == (b.iterations, b.relaxations)
+
+
+@settings(max_examples=15, deadline=None)
+@given(edges=edge_lists, cfg=st.sampled_from(CONFIGS), source=st.integers(0, N - 1))
+def test_analytics_fused_equals_unfused(edges, cfg, source):
+    layout, bits = cfg
+    coo = _coo(edges)
+
+    a, b = _pair(coo, cc, sym=True, layout=layout, bits=bits)
+    assert np.array_equal(a.labels, b.labels)
+    assert (a.iterations, a.n_components) == (b.iterations, b.n_components)
+
+    a, b = _pair(coo, bc, sym=True, sources=[source], layout=layout, bits=bits)
+    assert np.array_equal(a.scores, b.scores)
+    assert a.total_iterations == b.total_iterations
+
+    a, b = _pair(coo, pagerank, layout=layout, bits=bits, max_iterations=12)
+    assert np.array_equal(a.ranks, b.ranks)
+    assert (a.iterations, a.residual) == (b.iterations, b.residual)

@@ -1,0 +1,237 @@
+"""PlanExecutor semantics: guards, step dispatch, spans, ticks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.exec import (
+    AdvanceStep,
+    ClearStep,
+    ComputeStep,
+    ExecContext,
+    FilterStep,
+    HostStep,
+    IfStep,
+    LoopStep,
+    Plan,
+    PlanExecutor,
+    SetOpStep,
+    SpanStep,
+    SwapClearStep,
+)
+from repro.frontier import FrontierView, make_frontier
+from repro.graph.builder import from_edges
+from repro.obs.span import SpanTracer
+from repro.sycl import Queue
+
+
+def _chain_graph(queue, n=6):
+    src = np.arange(n - 1, dtype=np.int64)
+    return from_edges(queue, src, src + 1, n_vertices=n)
+
+
+def _ctx(queue, graph, n, seed=0, slots=("in", "out")):
+    frontiers = {
+        s: make_frontier(queue, n, FrontierView.VERTEX, layout="2lb") for s in slots
+    }
+    frontiers["in"].insert(seed)
+    return ExecContext(queue, graphs={"csr": graph}, frontiers=frontiers)
+
+
+class TestGuard:
+    def test_until_empty_runs_to_fixpoint(self):
+        q = Queue()
+        g = _chain_graph(q, 6)
+        ctx = _ctx(q, g, 6)
+        dist = np.full(6, -1, dtype=np.int64)
+        dist[0] = 0
+        plan = Plan(
+            name="t",
+            steps=[
+                AdvanceStep(lambda c: (lambda s, d, e, w: dist[d] == -1)),
+                ComputeStep(
+                    lambda c: (lambda ids, d=c.iteration + 1: dist.__setitem__(ids, d)),
+                    frontier="out",
+                ),
+                SwapClearStep(),
+            ],
+        )
+        PlanExecutor(q).run(plan, ctx)
+        # chain of 6: 5 discovering levels + the drain iteration that
+        # proves the frontier empty
+        assert ctx.iteration == 6
+        assert list(dist) == [0, 1, 2, 3, 4, 5]
+
+    def test_limit_stops_early(self):
+        q = Queue()
+        g = _chain_graph(q, 6)
+        ctx = _ctx(q, g, 6)
+        dist = np.full(6, -1, dtype=np.int64)
+        dist[0] = 0
+        plan = Plan(
+            name="t",
+            steps=[
+                AdvanceStep(lambda c: (lambda s, d, e, w: dist[d] == -1)),
+                ComputeStep(lambda c: (lambda ids: dist.__setitem__(ids, 1)), frontier="out"),
+                SwapClearStep(),
+            ],
+            limit=2,
+        )
+        PlanExecutor(q).run(plan, ctx)
+        assert ctx.iteration == 2
+
+    def test_should_run_overrides(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        plan = Plan(
+            name="t",
+            steps=[HostStep(lambda c: None)],
+            should_run=lambda c: c.iteration < 3,
+        )
+        PlanExecutor(q).run(plan, ctx)
+        assert ctx.iteration == 3
+
+    def test_no_guard_raises(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        plan = Plan(name="t", steps=[], until_empty=None)
+        with pytest.raises(PlanError):
+            PlanExecutor(q).run(plan, ctx)
+
+
+class TestSteps:
+    def test_setup_and_teardown_run_once(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        calls = []
+        plan = Plan(
+            name="t",
+            setup=[HostStep(lambda c: calls.append("setup"))],
+            steps=[HostStep(lambda c: calls.append("step"))],
+            teardown=[HostStep(lambda c: calls.append("teardown"))],
+            should_run=lambda c: c.iteration < 2,
+        )
+        PlanExecutor(q).run(plan, ctx)
+        assert calls == ["setup", "step", "step", "teardown"]
+
+    def test_if_step_branches(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        seen = []
+        plan = Plan(
+            name="t",
+            steps=[
+                IfStep(
+                    lambda c: c.iteration % 2 == 0,
+                    then=[HostStep(lambda c: seen.append("even"))],
+                    orelse=[HostStep(lambda c: seen.append("odd"))],
+                )
+            ],
+            should_run=lambda c: c.iteration < 4,
+        )
+        PlanExecutor(q).run(plan, ctx)
+        assert seen == ["even", "odd", "even", "odd"]
+
+    def test_loop_step_pre_and_post_tested(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        ctx.state["n"] = 0
+        pre = LoopStep(
+            body=[HostStep(lambda c: c.state.__setitem__("n", c.state["n"] + 1))],
+            until=lambda c: c.state["n"] >= 0,  # immediately true
+        )
+        post = LoopStep(
+            body=[HostStep(lambda c: c.state.__setitem__("n", c.state["n"] + 1))],
+            until=lambda c: c.state["n"] >= 1,
+            post=True,  # do-while: body runs at least once
+        )
+        ex = PlanExecutor(q)
+        ex.run_steps([pre], ctx)
+        assert ctx.state["n"] == 0
+        ex.run_steps([post], ctx)
+        assert ctx.state["n"] == 1
+
+    def test_set_op_step(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6, slots=("in", "out", "tmp"))
+        ctx.frontiers["in"].insert([0, 1, 2])
+        ctx.frontiers["out"].insert([2, 3])
+        PlanExecutor(q).run_steps([SetOpStep("intersection", out="tmp")], ctx)
+        assert list(ctx.frontiers["tmp"].active_elements()) == [2]
+
+    def test_unknown_set_op_raises(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        with pytest.raises(PlanError):
+            PlanExecutor(q).run_steps([SetOpStep("xor")], ctx)
+
+    def test_swap_clear_and_clear(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        ctx.frontiers["out"].insert([3, 4])
+        PlanExecutor(q).run_steps([SwapClearStep()], ctx)
+        assert sorted(ctx.frontiers["in"].active_elements()) == [3, 4]
+        assert ctx.frontiers["out"].empty()
+        PlanExecutor(q).run_steps([ClearStep("in")], ctx)
+        assert ctx.frontiers["in"].empty()
+
+    def test_filter_step_inplace_and_external(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        ctx.frontiers["in"].clear()
+        ctx.frontiers["in"].insert([0, 1, 2, 3])
+        PlanExecutor(q).run_steps(
+            [FilterStep(lambda c: (lambda ids: ids % 2 == 0), frontier="in", output="out")],
+            ctx,
+        )
+        assert sorted(ctx.frontiers["out"].active_elements()) == [0, 2]
+        PlanExecutor(q).run_steps(
+            [FilterStep(lambda c: (lambda ids: ids > 0), frontier="in")], ctx
+        )
+        assert sorted(ctx.frontiers["in"].active_elements()) == [1, 2, 3]
+
+
+class TestObservability:
+    def test_iter_spans_and_span_step(self):
+        q = Queue()
+        g = _chain_graph(q)
+        tr = SpanTracer()
+        q.tracer = tr
+        ctx = _ctx(q, g, 6)
+        plan = Plan(
+            name="outer",
+            span_arg=42,
+            iter_span="outer.iter",
+            steps=[SpanStep("inner", [HostStep(lambda c: None)], arg=lambda c: c.iteration)],
+            should_run=lambda c: c.iteration < 3,
+        )
+        PlanExecutor(q).run(plan, ctx)
+        q.tracer = None
+        outer = tr.root.children[0]
+        assert outer.name == "outer" and outer.arg == 42
+        iters = [s for s in outer.children if s.name == "outer.iter"]
+        assert [s.arg for s in iters] == [0, 1, 2]
+        assert [s.children[0].arg for s in iters] == [0, 1, 2]  # SpanStep callable arg
+
+    def test_tick_label_sees_incremented_iteration(self):
+        q = Queue()
+        g = _chain_graph(q)
+        ctx = _ctx(q, g, 6)
+        labels = []
+        plan = Plan(
+            name="t",
+            steps=[HostStep(lambda c: None)],
+            should_run=lambda c: c.iteration < 2,
+            tick=lambda c: labels.append(f"t.iter{c.iteration}") or None,
+        )
+        PlanExecutor(q).run(plan, ctx)
+        assert labels == ["t.iter1", "t.iter2"]

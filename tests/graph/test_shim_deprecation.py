@@ -1,0 +1,37 @@
+"""The repro.graph.{partition,distributed} shims warn but keep working."""
+
+import importlib
+import sys
+
+import pytest
+
+
+def _fresh_import(name):
+    sys.modules.pop(name, None)
+    return importlib.import_module(name)
+
+
+@pytest.mark.parametrize(
+    "module, names",
+    [
+        (
+            "repro.graph.partition",
+            ["Partition", "partition_static", "partition_bounds", "owner_of", "edge_balance"],
+        ),
+        (
+            "repro.graph.distributed",
+            ["distributed_bfs", "distributed_sssp", "distributed_cc",
+             "DistributedBFSResult", "DistributedSSSPResult", "DistributedCCResult"],
+        ),
+    ],
+)
+def test_shim_warns_and_reexports(module, names):
+    with pytest.warns(DeprecationWarning, match="repro.dist"):
+        mod = _fresh_import(module)
+    # the re-exports are the same objects repro.dist provides
+    canonical = importlib.import_module(
+        "repro.dist.partition" if module.endswith("partition") else "repro.dist.algorithms"
+    )
+    for name in names:
+        assert getattr(mod, name) is getattr(canonical, name)
+    assert set(names) == set(mod.__all__)
